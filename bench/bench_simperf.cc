@@ -1,0 +1,159 @@
+/// \file
+/// Simulator hot-path performance (google-benchmark, wall-clock).
+///
+/// The paper-reproduction benches measure *simulated cycles*, for which
+/// wall-clock timing is meaningless; this binary instead measures the
+/// simulator's own throughput on its hot paths (TLB, page tables, the
+/// virtualization algorithm, full app steps) so regressions in the
+/// library's real performance are caught.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "apps/pmo.h"
+#include "apps/strategy.h"
+#include "bench_util.h"
+#include "hw/mmu.h"
+#include "hw/page_table.h"
+#include "hw/tlb.h"
+#include "sim/rng.h"
+
+namespace vdom::bench {
+namespace {
+
+void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    hw::Tlb tlb(1536);
+    for (hw::Vpn v = 0; v < 1024; ++v)
+        tlb.insert(1, v, {});
+    sim::Rng rng(1);
+    for (auto _ : state) {
+        auto hit = tlb.lookup(1, rng.below(1024));
+        benchmark::DoNotOptimize(hit);
+    }
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void
+BM_TlbInsertEvict(benchmark::State &state)
+{
+    hw::Tlb tlb(512);
+    hw::Vpn v = 0;
+    for (auto _ : state)
+        tlb.insert(1, ++v, {});
+}
+BENCHMARK(BM_TlbInsertEvict);
+
+void
+BM_PageTableTranslate(benchmark::State &state)
+{
+    hw::PageTable pt(512);
+    for (hw::Vpn v = 0; v < 4096; ++v)
+        pt.map_page(v, 3);
+    sim::Rng rng(2);
+    for (auto _ : state) {
+        hw::Translation t = pt.translate(rng.below(4096));
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_PageTableTranslate);
+
+void
+BM_PmdDisableRemap2MB(benchmark::State &state)
+{
+    hw::PageTable pt(512);
+    for (hw::Vpn v = 0; v < 512; ++v)
+        pt.map_page(v, 6);
+    for (auto _ : state) {
+        pt.disable_range(0, 512, 1, true);
+        pt.set_pdom_range(0, 512, 6, true);
+    }
+}
+BENCHMARK(BM_PmdDisableRemap2MB);
+
+void
+BM_MmuAccessHit(benchmark::State &state)
+{
+    hw::Machine machine(hw::ArchParams::x86(1));
+    hw::PageTable pt(512);
+    pt.map_page(7, 0);
+    machine.core(0).set_pgd(&pt, 1);
+    for (auto _ : state) {
+        hw::AccessResult r = hw::Mmu::access(machine.core(0), 7, false);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_MmuAccessHit);
+
+void
+BM_WrvdrMapped(benchmark::State &state)
+{
+    BenchWorld world(hw::ArchParams::x86(1));
+    world.sys.vdom_init(world.core(0));
+    kernel::Task *task = world.spawn(0);
+    world.sys.vdr_alloc(world.core(0), *task, 1);
+    VdomId v = world.sys.vdom_alloc(world.core(0));
+    hw::Vpn vpn = world.proc.mm().mmap(1);
+    world.sys.vdom_mprotect(world.core(0), vpn, 1, v);
+    world.sys.wrvdr(world.core(0), *task, v, VPerm::kFullAccess);
+    for (auto _ : state) {
+        world.sys.wrvdr(world.core(0), *task, v, VPerm::kWriteDisable);
+        world.sys.wrvdr(world.core(0), *task, v, VPerm::kFullAccess);
+    }
+}
+BENCHMARK(BM_WrvdrMapped);
+
+void
+BM_WrvdrEvictionChurn(benchmark::State &state)
+{
+    BenchWorld world(hw::ArchParams::x86(1));
+    world.sys.vdom_init(world.core(0));
+    kernel::Task *task = world.spawn(0);
+    world.sys.vdr_alloc(world.core(0), *task, 1);
+    std::vector<VdomId> doms;
+    for (int i = 0; i < 20; ++i) {
+        VdomId v = world.sys.vdom_alloc(world.core(0));
+        hw::Vpn vpn = world.proc.mm().mmap(1);
+        world.sys.vdom_mprotect(world.core(0), vpn, 1, v);
+        doms.push_back(v);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        VdomId v = doms[i++ % doms.size()];
+        world.sys.wrvdr(world.core(0), *task, v, VPerm::kFullAccess);
+        world.sys.wrvdr(world.core(0), *task, v, VPerm::kAccessDisable);
+    }
+}
+BENCHMARK(BM_WrvdrEvictionChurn);
+
+void
+BM_PmoWorkloadStep(benchmark::State &state)
+{
+    // Full-stack: one simulated PMO op per iteration under VDom.
+    BenchWorld world(hw::ArchParams::x86(4));
+    world.sys.vdom_init(world.core(0));
+    apps::VdomStrategy strat(world.sys, 6);
+    std::size_t ops = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        BenchWorld fresh(hw::ArchParams::x86(4));
+        fresh.sys.vdom_init(fresh.core(0));
+        apps::VdomStrategy s(fresh.sys, 6);
+        apps::PmoConfig cfg = apps::PmoConfig::for_arch(hw::ArchKind::kX86, 2);
+        cfg.ops_per_thread = 500;
+        state.ResumeTiming();
+        apps::PmoResult r =
+            apps::run_pmo(fresh.machine, fresh.proc, s, cfg);
+        ops += r.completed;
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_PmoWorkloadStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vdom::bench
+
+BENCHMARK_MAIN();

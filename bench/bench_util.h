@@ -1,0 +1,70 @@
+/// \file
+/// Shared benchmark plumbing: world construction, measurement helpers,
+/// paper-reference annotations.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/machine.h"
+#include "kernel/process.h"
+#include "sim/table.h"
+#include "vdom/api.h"
+
+namespace vdom::bench {
+
+/// One self-contained simulated world.
+struct BenchWorld {
+    hw::Machine machine;
+    kernel::Process proc;
+    VdomSystem sys;
+
+    explicit BenchWorld(const hw::ArchParams &params)
+        : machine(params), proc(machine), sys(proc)
+    {
+    }
+
+    hw::Core &core(std::size_t i = 0) { return machine.core(i); }
+
+    kernel::Task *
+    spawn(std::size_t core_id = 0)
+    {
+        kernel::Task *task = proc.create_task();
+        proc.switch_to(machine.core(core_id), *task, false);
+        return task;
+    }
+};
+
+/// Quick mode: scaled-down iteration counts (VDOM_BENCH_QUICK=1 or
+/// --quick).  The default sizes finish each bench in well under a minute.
+inline bool
+quick_mode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            return true;
+    const char *env = std::getenv("VDOM_BENCH_QUICK");
+    return env && env[0] == '1';
+}
+
+/// Formats "measured (paper X)" cells.
+inline std::string
+vs_paper(double measured, double paper, int digits = 0)
+{
+    return sim::Table::num(measured, digits) + " (" +
+           sim::Table::num(paper, digits) + ")";
+}
+
+/// Formats a ratio as "x.xx" with a multiplier suffix.
+inline std::string
+ratio(double value)
+{
+    return sim::Table::num(value, 2) + "x";
+}
+
+}  // namespace vdom::bench

@@ -1,0 +1,107 @@
+/// \file
+/// Data-race detection overhead (not in the paper; §1 cites Kard,
+/// ASPLOS'21, which reports ~7% average overhead on raw MPK with at most
+/// 14 watched objects).
+///
+/// Measures a lock-heavy workload — threads acquire a lock, touch the
+/// protected object, release — with and without the VDom-backed detector,
+/// across watched-object counts far beyond the hardware limit.  The
+/// per-acquire cost is the ownership transfer (two wrvdr legs plus
+/// whatever the virtualization algorithm needs when the object's domain
+/// is cold).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/kard.h"
+#include "bench_util.h"
+#include "sim/rng.h"
+
+namespace vdom::bench {
+namespace {
+
+/// One run: \p threads round-robin over \p objects with lock discipline.
+/// \returns total cycles on the busiest core.
+double
+run_workload(std::size_t objects, std::size_t threads, std::size_t ops,
+             bool detect, double work_cycles)
+{
+    BenchWorld world(hw::ArchParams::x86(4));
+    world.sys.vdom_init(world.core(0));
+    apps::KardDetector kard(world.sys);
+
+    std::vector<kernel::Task *> tasks;
+    for (std::size_t t = 0; t < threads; ++t) {
+        kernel::Task *task = world.spawn(t % 4);
+        if (detect)
+            kard.thread_init(world.machine.core(t % 4), *task);
+        tasks.push_back(task);
+    }
+    std::vector<std::pair<int, hw::Vpn>> objs;
+    for (std::size_t o = 0; o < objects; ++o) {
+        hw::Vpn vpn = world.proc.mm().mmap(1);
+        int obj = detect
+            ? kard.register_object(world.core(0), vpn, 1)
+            : 0;
+        // Undetected runs still fault the page in once.
+        if (!detect)
+            world.proc.mm().fault_in(world.core(0),
+                                     *world.proc.mm().vds0(), vpn);
+        objs.emplace_back(obj, vpn);
+    }
+
+    sim::Rng rng(17);
+    for (std::size_t i = 0; i < ops; ++i) {
+        std::size_t ti = i % threads;
+        kernel::Task &task = *tasks[ti];
+        hw::Core &core = world.machine.core(ti % 4);
+        world.proc.switch_to(core, task, false);
+        auto &[obj, vpn] = objs[rng.below(objs.size())];
+        if (detect) {
+            kard.acquire(core, task, obj);
+            kard.access(core, task, obj, vpn, true);
+            kard.release(core, task, obj);
+        } else {
+            world.sys.access(core, task, vpn, true);
+        }
+        core.charge(hw::CostKind::kCompute, work_cycles);
+    }
+    return world.machine.total_breakdown().total();
+}
+
+void
+run(std::size_t ops)
+{
+    const double work = 12'000;  // Critical-section work per op.
+    sim::Table table(
+        "Kard-style race detection: overhead vs watched-object count "
+        "(4 threads; raw MPK would stop at 14 objects)");
+    table.columns({"watched objects", "baseline cy/op", "detected cy/op",
+                   "overhead"});
+    for (std::size_t objects : {8u, 14u, 32u, 128u, 512u}) {
+        double base = run_workload(objects, 4, ops, false, work) / ops;
+        double detected = run_workload(objects, 4, ops, true, work) / ops;
+        table.row({std::to_string(objects), sim::Table::num(base, 0),
+                   sim::Table::num(detected, 0),
+                   sim::Table::pct(detected / base - 1.0)});
+        std::fprintf(stderr, ".");
+    }
+    std::fprintf(stderr, "\n");
+    table.print();
+    std::printf(
+        "Kard (ASPLOS'21) reports ~7%% overhead on raw MPK, hard-capped at\n"
+        "14 watched objects; on VDom the object count is unlimited and the\n"
+        "overhead stays in the same band until ownership transfers start\n"
+        "missing the address-space working set.\n");
+}
+
+}  // namespace
+}  // namespace vdom::bench
+
+int
+main(int argc, char **argv)
+{
+    vdom::bench::run(vdom::bench::quick_mode(argc, argv) ? 4'000 : 20'000);
+    return 0;
+}

@@ -1,0 +1,126 @@
+/// \file
+/// Scaling study for the "unlimited domains" requirement (§5) — not a
+/// paper table, but the quantitative backing for the paper's claim that
+/// "a thread can always obtain a new virtual domain" with costs that stay
+/// flat as the domain count grows into the tens of thousands (httpd
+/// allocates >80,000 per run, §7.6).
+///
+/// For 10^2..10^5 live vdoms, measures: vdom_alloc cycles, vdom_mprotect
+/// cycles, steady-state wrvdr cycles on a hot working set, and the VDM/VDT
+/// metadata footprint.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "vdom/introspect.h"
+
+namespace vdom::bench {
+namespace {
+
+struct Point {
+    std::size_t domains;
+    double alloc_cycles;
+    double mprotect_cycles;
+    double hot_wrvdr_cycles;
+    std::size_t vdt_leaves;
+    std::size_t vdses;
+};
+
+Point
+measure(std::size_t domains)
+{
+    BenchWorld world(hw::ArchParams::x86(2));
+    hw::Core &core = world.core(0);
+    world.sys.vdom_init(core);
+    kernel::Task *task = world.spawn(0);
+    world.sys.vdr_alloc(core, *task, 4);
+
+    Point point{};
+    point.domains = domains;
+
+    hw::Cycles t0 = core.now();
+    std::vector<VdomId> ids;
+    ids.reserve(domains);
+    for (std::size_t i = 0; i < domains; ++i)
+        ids.push_back(world.sys.vdom_alloc(core));
+    point.alloc_cycles = (core.now() - t0) / domains;
+
+    t0 = core.now();
+    std::vector<hw::Vpn> pages;
+    pages.reserve(domains);
+    for (std::size_t i = 0; i < domains; ++i) {
+        hw::Vpn vpn = world.proc.mm().mmap(1);
+        world.sys.vdom_mprotect(core, vpn, 1, ids[i]);
+        pages.push_back(vpn);
+    }
+    point.mprotect_cycles = (core.now() - t0) / domains;
+
+    // Hot working set: the last 8 domains cycled in steady state — the
+    // cost must not depend on how many cold domains exist.
+    std::size_t hot = std::min<std::size_t>(8, domains);
+    for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t i = 0; i < hot; ++i) {
+            world.sys.wrvdr(core, *task, ids[domains - 1 - i],
+                            VPerm::kFullAccess);
+            world.sys.wrvdr(core, *task, ids[domains - 1 - i],
+                            VPerm::kAccessDisable);
+        }
+    }
+    t0 = core.now();
+    std::size_t calls = 0;
+    for (std::size_t r = 0; r < 50; ++r) {
+        for (std::size_t i = 0; i < hot; ++i) {
+            world.sys.wrvdr(core, *task, ids[domains - 1 - i],
+                            VPerm::kFullAccess);
+            world.sys.wrvdr(core, *task, ids[domains - 1 - i],
+                            VPerm::kAccessDisable);
+            ++calls;
+        }
+    }
+    point.hot_wrvdr_cycles = (core.now() - t0) / (2.0 * calls);
+
+    IntrospectSummary s = summarize(world.sys);
+    point.vdt_leaves = s.vdt_leaves;
+    point.vdses = s.vdses;
+    return point;
+}
+
+void
+run(bool quick)
+{
+    std::vector<std::size_t> counts = {100, 1'000, 10'000};
+    if (!quick)
+        counts.push_back(100'000);
+    sim::Table table(
+        "Scaling: costs vs live vdom count (all flat by design)");
+    table.columns({"live vdoms", "vdom_alloc cy", "vdom_mprotect cy",
+                   "hot wrvdr cy", "VDT leaves", "VDSes"});
+    for (std::size_t n : counts) {
+        Point p = measure(n);
+        table.row({std::to_string(p.domains),
+                   sim::Table::num(p.alloc_cycles, 1),
+                   sim::Table::num(p.mprotect_cycles, 1),
+                   sim::Table::num(p.hot_wrvdr_cycles, 1),
+                   std::to_string(p.vdt_leaves),
+                   std::to_string(p.vdses)});
+        std::fprintf(stderr, ".");
+    }
+    std::fprintf(stderr, "\n");
+    table.print();
+    std::printf(
+        "vdom_alloc is O(1) (free list + bitmap), vdom_mprotect is O(pages)\n"
+        "(VMA split + VDT chain append), wrvdr on a hot set is independent\n"
+        "of the cold-domain count, and VDT metadata grows one 1024-entry\n"
+        "leaf per 1024 vdom ids (§5.3's space/efficiency balance).\n");
+}
+
+}  // namespace
+}  // namespace vdom::bench
+
+int
+main(int argc, char **argv)
+{
+    vdom::bench::run(vdom::bench::quick_mode(argc, argv));
+    return 0;
+}

@@ -1,0 +1,130 @@
+/// \file
+/// JIT code-cache protection (the paper's §1 cites "JIT code protection
+/// [48, 53]" as a memory-domain use).
+///
+/// A language runtime keeps per-module code caches.  The classic attack:
+/// corrupt a writable code page, then jump to it.  With one domain per
+/// code cache, executor threads hold write-disable views (instruction
+/// fetch = read), and full access exists only inside the compiler's
+/// short-lived compilation window — so a compromised executor can neither
+/// patch code nor write shellcode into any cache, while compilation
+/// itself still works.  With many modules there are far more caches than
+/// hardware domains.
+///
+///   $ ./build/examples/jit_compartment
+
+#include <cstdio>
+#include <vector>
+
+#include "hw/machine.h"
+#include "kernel/process.h"
+#include "sim/rng.h"
+#include "vdom/api.h"
+
+namespace {
+
+using namespace vdom;
+
+struct CodeCache {
+    VdomId domain;
+    hw::Vpn pages;
+    std::uint64_t size;
+};
+
+}  // namespace
+
+int
+main()
+{
+    hw::Machine machine(hw::ArchParams::x86(4));
+    kernel::Process proc(machine);
+    VdomSystem sys(proc);
+    sys.vdom_init(machine.core(0));
+
+    // The compiler thread and two executor threads.
+    kernel::Task *compiler = proc.create_task();
+    proc.switch_to(machine.core(0), *compiler, false);
+    sys.vdr_alloc(machine.core(0), *compiler, 4);
+    kernel::Task *exec1 = proc.create_task();
+    proc.switch_to(machine.core(1), *exec1, false);
+    sys.vdr_alloc(machine.core(1), *exec1, 4);
+    kernel::Task *exec2 = proc.create_task();
+    proc.switch_to(machine.core(2), *exec2, false);
+    sys.vdr_alloc(machine.core(2), *exec2, 4);
+
+    // 24 module code caches, one domain each.
+    std::vector<CodeCache> caches;
+    for (int m = 0; m < 24; ++m) {
+        CodeCache cache;
+        cache.size = 4;
+        cache.domain = sys.vdom_alloc(machine.core(0));
+        cache.pages = proc.mm().mmap(cache.size);
+        sys.vdom_mprotect(machine.core(0), cache.pages, cache.size,
+                          cache.domain);
+        caches.push_back(cache);
+    }
+    std::printf("%zu module code caches on 16 hardware domains\n\n",
+                caches.size());
+
+    // Compile every module: full access inside the compilation window
+    // only.
+    for (const CodeCache &cache : caches) {
+        sys.wrvdr(machine.core(0), *compiler, cache.domain,
+                  VPerm::kFullAccess);
+        for (std::uint64_t p = 0; p < cache.size; ++p) {
+            if (!sys.access(machine.core(0), *compiler, cache.pages + p,
+                            true)
+                     .ok) {
+                std::printf("compiler write failed!\n");
+                return 1;
+            }
+        }
+        // Window closes: even the compiler drops to write-disable.
+        sys.wrvdr(machine.core(0), *compiler, cache.domain,
+                  VPerm::kWriteDisable);
+    }
+    std::printf("compiled 24 modules (writes only inside the window)\n");
+
+    // Executors fetch from every cache through WD views.
+    sim::Rng rng(3);
+    std::size_t fetches = 0;
+    for (int i = 0; i < 200; ++i) {
+        const CodeCache &cache = caches[rng.below(caches.size())];
+        kernel::Task *task = i % 2 ? exec1 : exec2;
+        hw::Core &core = machine.core(i % 2 ? 1 : 2);
+        sys.wrvdr(core, *task, cache.domain, VPerm::kWriteDisable);
+        if (!sys.access(core, *task, cache.pages, false).ok) {
+            std::printf("instruction fetch failed!\n");
+            return 1;
+        }
+        ++fetches;
+    }
+    std::printf("%zu instruction fetches served from WD views\n", fetches);
+
+    // The attack: a compromised executor tries to patch code pages.
+    std::size_t attempts = 0, blocked = 0;
+    for (const CodeCache &cache : caches) {
+        for (std::uint64_t p = 0; p < cache.size; ++p) {
+            ++attempts;
+            if (sys.access(machine.core(1), *exec1, cache.pages + p, true)
+                    .sigsegv) {
+                ++blocked;
+            }
+        }
+    }
+    std::printf("compromised executor attempted %zu code writes: %zu "
+                "blocked\n",
+                attempts, blocked);
+
+    // Recompilation still works: the compiler reopens one window.
+    sys.wrvdr(machine.core(0), *compiler, caches[5].domain,
+              VPerm::kFullAccess);
+    bool recompiled =
+        sys.access(machine.core(0), *compiler, caches[5].pages, true).ok;
+    sys.wrvdr(machine.core(0), *compiler, caches[5].domain,
+              VPerm::kWriteDisable);
+    std::printf("recompilation window still works: %s\n",
+                recompiled ? "yes" : "NO");
+
+    return (blocked == attempts && recompiled) ? 0 : 1;
+}

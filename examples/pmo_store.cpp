@@ -1,0 +1,102 @@
+/// \file
+/// Persistent-memory object store: the §7.6 PMO scenario.
+///
+/// An in-memory database keeps many 2MB persistent objects, each under its
+/// own domain (corruption of persistent data is long-lived, so every PMO
+/// gets fine-grained access control).  Readers take WD views, writers take
+/// FA, and the example contrasts the two VDom flavours a deployment can
+/// pick per thread via vdr_alloc's nas parameter: address-space switching
+/// (nas > 1) versus in-place eviction (nas = 1).
+///
+///   $ ./build/examples/pmo_store
+
+#include <cstdio>
+#include <vector>
+
+#include "hw/machine.h"
+#include "kernel/process.h"
+#include "sim/rng.h"
+#include "vdom/api.h"
+
+namespace {
+
+using namespace vdom;
+
+constexpr std::size_t kPmos = 64;
+constexpr std::uint64_t kPmoPages = 512;  // 2MB each.
+
+struct Pmo {
+    VdomId domain;
+    hw::Vpn base;
+};
+
+/// Runs one access pattern and returns average cycles per operation.
+double
+run_pattern(std::size_t nas, int ops, const char *label)
+{
+    hw::Machine machine(hw::ArchParams::x86(2));
+    kernel::Process proc(machine);
+    VdomSystem sys(proc);
+    hw::Core &core = machine.core(0);
+    sys.vdom_init(core);
+    kernel::Task *thread = proc.create_task();
+    proc.switch_to(core, *thread, false);
+    sys.vdr_alloc(core, *thread, nas);
+
+    std::vector<Pmo> pmos;
+    for (std::size_t p = 0; p < kPmos; ++p) {
+        Pmo pmo;
+        pmo.domain = sys.vdom_alloc(core);
+        pmo.base = proc.mm().mmap(kPmoPages);
+        sys.vdom_mprotect(core, pmo.base, kPmoPages, pmo.domain);
+        pmos.push_back(pmo);
+        // Attach the persistent object: map it all in up front.
+        sys.wrvdr(core, *thread, pmo.domain, VPerm::kFullAccess);
+        for (std::uint64_t i = 0; i < kPmoPages; ++i)
+            sys.access(core, *thread, pmo.base + i, true);
+        sys.wrvdr(core, *thread, pmo.domain, VPerm::kAccessDisable);
+    }
+
+    sim::Rng rng(1234);
+    hw::Cycles t0 = core.now();
+    int failures = 0;
+    for (int op = 0; op < ops; ++op) {
+        const Pmo &pmo = pmos[rng.below(pmos.size())];
+        hw::Vpn page = pmo.base + rng.below(kPmoPages);
+        // Read phase under a write-disabled view.
+        sys.wrvdr(core, *thread, pmo.domain, VPerm::kWriteDisable);
+        if (!sys.access(core, *thread, page, false).ok)
+            ++failures;
+        core.charge(hw::CostKind::kCompute, 7'000);  // Substring search.
+        // Upgrade for the replacement.
+        sys.wrvdr(core, *thread, pmo.domain, VPerm::kFullAccess);
+        if (!sys.access(core, *thread, page, true).ok)
+            ++failures;
+        core.charge(hw::CostKind::kCompute, 3'000);  // Write-back.
+        sys.wrvdr(core, *thread, pmo.domain, VPerm::kAccessDisable);
+    }
+    double per_op = ops > 0 ? (core.now() - t0) / ops : 0;
+    std::printf("%-28s %8.0f cycles/op  (%d failures, %zu address "
+                "spaces)\n",
+                label, per_op, failures, proc.mm().num_vdses());
+    return per_op;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("%zu PMOs x 2MB, one domain each, random read-modify-write"
+                "\n\n",
+                kPmos);
+    double switching = run_pattern(/*nas=*/6, 20'000, "VDS switching (nas=6)");
+    double evicting = run_pattern(/*nas=*/1, 20'000, "eviction mode (nas=1)");
+    std::printf("\nswitching beats eviction by %.2fx on this random "
+                "pattern —\nexactly the trade §5.4's algorithm balances: "
+                "pgd switches keep the\npage tables intact, evictions pay "
+                "PTE/PMD rewrites (cheap here\nthanks to the §5.5 PMD "
+                "fast path, but still pricier than a switch).\n",
+                evicting / switching);
+    return switching < evicting ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Builds the project, runs the full test suite, and regenerates every
+# paper table/figure, mirroring the artifact-evaluation flow (§A.5).
+#
+# Usage: scripts/run_all.sh [--quick] [--csv]
+#   --quick  scaled-down bench runs (seconds instead of minutes)
+#   --csv    plotting-ready CSV bench output
+#
+# Results land in results/: test_output.txt plus one file per bench.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+for arg in "$@"; do
+    case "$arg" in
+      --quick) QUICK="--quick" ;;
+      --csv) export VDOM_BENCH_CSV=1 ;;
+      *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+cmake -B build -G Ninja
+cmake --build build
+mkdir -p results
+
+ctest --test-dir build --output-on-failure 2>&1 | tee results/test_output.txt
+
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
+    echo "== running $name =="
+    if [ "$name" = bench_simperf ]; then
+        "$b" --benchmark_min_time=0.1 2>/dev/null | tee "results/$name.txt"
+    else
+        "$b" $QUICK 2>/dev/null | tee "results/$name.txt"
+    fi
+done
+
+echo "done: see results/"

@@ -1,0 +1,287 @@
+/// \file
+/// httpd + OpenSSL model implementation.
+
+#include "apps/httpd.h"
+
+#include <deque>
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/rng.h"
+#include "sim/thread.h"
+
+namespace vdom::apps {
+
+HttpdConfig
+HttpdConfig::for_arch(hw::ArchKind kind, std::size_t clients,
+                      std::size_t file_kb)
+{
+    HttpdConfig c;
+    c.clients = clients;
+    c.file_kb = file_kb;
+    if (kind == hw::ArchKind::kX86) {
+        // Vanilla request ~3M cycles at 1KB: 26 cores x 2.1GHz / 3M
+        // ~ 1.6e4 req/s as in Fig. 5.
+        c.client_delay = 200'000;
+        c.accept_io = 250'000;
+        c.finish_io = 150'000;
+        c.handshake_setup = 880'000;
+        c.key_op_cycles = 190'000;  // 2 keys x 4 ops = 1.52M keyed cycles.
+        c.per_kb_cycles = 6'000;
+    } else {
+        // ARM: ~18M cycles per request; the large client turnaround is the
+        // ab clients sharing the Pi's 4 cores and the multi-RTT TLS
+        // handshake, which make the paper's ARM curves rise until ~16
+        // concurrent clients.
+        c.client_delay = 40'000'000;
+        c.accept_io = 1'500'000;
+        c.finish_io = 900'000;
+        c.handshake_setup = 4'000'000;
+        c.key_op_cycles = 1'400'000;  // 11.2M keyed cycles.
+        c.per_kb_cycles = 30'000;
+    }
+    return c;
+}
+
+namespace {
+
+/// Shared benchmark state: the closed-loop client pool.
+struct HttpdShared {
+    const HttpdConfig *config;
+    /// Per-worker arrival queues: clients are pinned to workers
+    /// (event-MPM style), which keeps request placement identical across
+    /// strategies — pickup order is then physics, not scheduler luck.
+    std::vector<std::deque<hw::Cycles>> ready;
+    std::size_t started = 0;
+    std::size_t completed = 0;
+    std::uint64_t vdoms = 0;
+};
+
+/// One httpd worker thread as a step-driven state machine.
+class HttpdWorker final : public sim::SimThread {
+  public:
+    HttpdWorker(HttpdShared &shared, Strategy &strategy,
+                kernel::Process &proc, std::size_t id)
+        : shared_(&shared),
+          strat_(&strategy),
+          proc_(&proc),
+          id_(id),
+          rng_(0x417 + 131 * id)
+    {
+    }
+
+    bool
+    step(hw::Core &core) override
+    {
+        const HttpdConfig &cfg = *shared_->config;
+        switch (phase_) {
+          case Phase::kIdle: {
+            if (shared_->completed >= cfg.total_requests)
+                return false;
+            auto &queue = shared_->ready[id_];
+            if (queue.empty())
+                return false;  // No client pinned here: worker retires.
+            bool arrival = queue.front() <= core.now();
+            if (!arrival || shared_->started >= cfg.total_requests) {
+                if (shared_->started >= cfg.total_requests) {
+                    // Drain: other workers are finishing the tail.
+                    return false;
+                }
+                core.charge(hw::CostKind::kIdle,
+                            std::min<hw::Cycles>(queue.front() - core.now(),
+                                                 20'000));
+                yield();  // Blocked in accept(): let peers run.
+                return true;
+            }
+            queue.pop_front();
+            ++shared_->started;
+            if (!init_done_) {
+                strat_->thread_init(core, *task());
+                init_done_ = true;
+            }
+            phase_ = Phase::kAccept;
+            return true;
+          }
+          case Phase::kAccept: {
+            strat_->io(core, cfg.accept_io);
+            strat_->work(core, cfg.handshake_setup);
+            // Fresh OpenSSL key structures, one 4KB domain each (the paper:
+            // >80,000 vdoms per run; ids are never recycled).
+            keys_.clear();
+            for (std::size_t k = 0; k < cfg.keys_per_request; ++k) {
+                hw::Vpn page = proc_->mm().mmap(1);
+                keys_.push_back(KeyState{
+                    strat_->register_object(core, *task(), page, 1, false),
+                    page});
+                ++shared_->vdoms;
+            }
+            key_idx_ = 0;
+            op_idx_ = 0;
+            spins_ = 0;
+            phase_ = Phase::kSessionAcquire;
+            return true;
+          }
+          case Phase::kSessionAcquire: {
+            // The session/master key (key 0) is opened first and stays
+            // open across the whole handshake + transfer — key material
+            // must be readable whenever libcrypto touches the session.
+            if (!strat_->enable(core, *task(), keys_[0].obj,
+                                VPerm::kFullAccess)) {
+                return true;  // Spin quantum charged; retry.
+            }
+            spins_ = 0;
+            phase_ = Phase::kSessionOp;
+            return true;
+          }
+          case Phase::kSessionOp: {
+            strat_->access(core, *task(), keys_[0].page, op_idx_ == 0);
+            // Crypto durations vary with key/padding/session parameters:
+            // +-35% deterministic jitter keeps worker phases from locking
+            // step (and gives Fig. 1's busy-wait knee its gradual onset).
+            strat_->work(core, cfg.key_op_cycles * jitter());
+            if (++op_idx_ >= cfg.ops_per_key) {
+                op_idx_ = 0;
+                key_idx_ = 1;
+                phase_ = keys_.size() > 1 ? Phase::kKeyAcquire
+                                          : Phase::kTransfer;
+            }
+            return true;
+          }
+          case Phase::kKeyAcquire: {
+            // Second (ephemeral signing) key, held nested inside the
+            // session key's hold; under libmpk this can busy-wait, and a
+            // hold-and-wait breaker drops the session key if the spin
+            // persists (avoids the all-holders-waiting deadlock).
+            if (!strat_->enable(core, *task(), keys_[key_idx_].obj,
+                                VPerm::kFullAccess)) {
+                if (++spins_ > 32) {
+                    strat_->disable(core, *task(), keys_[0].obj);
+                    spins_ = 0;
+                    phase_ = Phase::kSessionReacquire;
+                }
+                return true;
+            }
+            phase_ = Phase::kKeyOp;
+            return true;
+          }
+          case Phase::kSessionReacquire: {
+            if (!strat_->enable(core, *task(), keys_[0].obj,
+                                VPerm::kFullAccess)) {
+                return true;
+            }
+            phase_ = Phase::kKeyAcquire;
+            return true;
+          }
+          case Phase::kKeyOp: {
+            // One private-key operation with both domains open.
+            strat_->access(core, *task(), keys_[key_idx_].page, op_idx_ == 0);
+            strat_->work(core, cfg.key_op_cycles * jitter());
+            if (++op_idx_ >= cfg.ops_per_key) {
+                strat_->disable(core, *task(), keys_[key_idx_].obj);
+                op_idx_ = 0;
+                kb_sent_ = 0;
+                phase_ = Phase::kTransfer;
+            }
+            return true;
+          }
+          case Phase::kTransfer: {
+            std::size_t kb =
+                std::min<std::size_t>(cfg.chunk_kb,
+                                      cfg.file_kb - kb_sent_);
+            if (kb > 0) {
+                strat_->access(core, *task(), keys_[0].page, false);
+                strat_->work(core,
+                             cfg.per_kb_cycles * static_cast<double>(kb));
+                kb_sent_ += kb;
+            }
+            if (kb_sent_ >= cfg.file_kb) {
+                strat_->io(core, cfg.finish_io);
+                strat_->disable(core, *task(), keys_[0].obj);
+                ++shared_->completed;
+                // Closed loop: the client turns the response around.
+                shared_->ready[id_].push_back(core.now() +
+                                              cfg.client_delay);
+                phase_ = Phase::kIdle;
+            }
+            return true;
+          }
+        }
+        return false;
+    }
+
+  private:
+    enum class Phase {
+        kIdle,
+        kAccept,
+        kSessionAcquire,
+        kSessionOp,
+        kSessionReacquire,
+        kKeyAcquire,
+        kKeyOp,
+        kTransfer,
+    };
+
+    struct KeyState {
+        int obj = 0;
+        hw::Vpn page = 0;
+    };
+
+    /// Uniform factor in [0.65, 1.35] (mean 1.0).
+    double
+    jitter()
+    {
+        return 0.65 + 0.7 * rng_.uniform();
+    }
+
+    HttpdShared *shared_;
+    Strategy *strat_;
+    kernel::Process *proc_;
+    std::size_t id_;
+    sim::Rng rng_;
+    Phase phase_ = Phase::kIdle;
+    bool init_done_ = false;
+    std::vector<KeyState> keys_;
+    std::size_t key_idx_ = 0;
+    std::size_t op_idx_ = 0;
+    std::size_t kb_sent_ = 0;
+    std::size_t spins_ = 0;
+};
+
+}  // namespace
+
+HttpdResult
+run_httpd(hw::Machine &machine, kernel::Process &proc, Strategy &strategy,
+          const HttpdConfig &config)
+{
+    HttpdShared shared;
+    shared.config = &config;
+    shared.ready.resize(config.workers);
+    for (std::size_t c = 0; c < config.clients; ++c)
+        shared.ready[c % config.workers].push_back(0);
+
+    std::vector<std::unique_ptr<HttpdWorker>> workers;
+    sim::Engine engine(machine, &proc, /*time_slice=*/4'000'000);
+    for (std::size_t w = 0; w < config.workers; ++w) {
+        workers.push_back(
+            std::make_unique<HttpdWorker>(shared, strategy, proc, w));
+        workers.back()->set_task(proc.create_task());
+        engine.add_thread(workers.back().get(),
+                          static_cast<int>(w % machine.num_cores()));
+    }
+    engine.run();
+
+    HttpdResult result;
+    result.completed = shared.completed;
+    result.elapsed = machine.max_clock();
+    result.breakdown = machine.total_breakdown();
+    result.vdoms_allocated = shared.vdoms;
+    double seconds = result.elapsed /
+                     (machine.params().cpu_ghz * 1e9);
+    result.requests_per_sec =
+        seconds > 0 ? static_cast<double>(result.completed) / seconds : 0;
+    return result;
+}
+
+}  // namespace vdom::apps

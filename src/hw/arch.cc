@@ -1,0 +1,146 @@
+/// \file
+/// Calibrated architecture descriptors.
+///
+/// Calibration method: the paper's Table 3 gives end-to-end cycle counts for
+/// composite operations (e.g. "secure wrvdr with 2MB eviction" = 1,605
+/// cycles on X86).  We decompose each composite into the architectural
+/// events our simulator charges (syscall entry, PTE/PMD updates, TLB
+/// flushes, ...) and solve for per-event constants.  The Table 3 / Table 4
+/// reproductions then *measure* these composites back out of the simulator;
+/// EXPERIMENTS.md records paper-vs-measured for every row.
+
+#include "hw/arch.h"
+
+namespace vdom::hw {
+
+const char *
+arch_name(ArchKind kind)
+{
+    return kind == ArchKind::kX86 ? "X86" : "ARM";
+}
+
+CostTable
+default_costs(ArchKind kind)
+{
+    if (kind == ArchKind::kX86) {
+        CostTable c{};
+        c.api_call = 6.7;            // Table 3: empty API call return.
+        c.syscall = 173.4;           // Table 3: empty syscall return.
+        c.perm_reg_write = 25.6;     // Table 3: update PKRU.
+        c.perm_reg_read = 12.0;
+        c.vdr_update = 10.0;
+        c.perm_compute = 14.5;       // fast wrvdr = 6.7+10+14.5+12+25.6 = 68.8
+        c.secure_gate = 35.2;        // secure wrvdr = 68.8+35.2 = 104.
+        c.pte_update = 28.0;
+        c.pmd_update = 104.7;        // solves 64MB evict = 8,097 (32 PMDs).
+        c.pt_walk = 80.0;
+        c.pgd_switch = 120.0;
+        c.tlb_hit = 1.0;
+        c.tlb_flush_all = 250.0;
+        c.tlb_flush_asid = 25.0;     // INVPCID single-context issue cost; the
+                                     // real price is later refills, which the
+                                     // TLB model charges as misses.
+        c.tlb_flush_page = 45.0;
+        c.ipi_post = 400.0;
+        c.ipi_wait = 600.0;
+        c.ipi_handle = 500.0;
+        c.evict_fixed = 1170.0;      // VDT walk + HLRU + domain-map update.
+        c.vds_switch_fixed = 185.6;  // VDS switch = 104+173.4+120+185.6 = 583.
+        c.vds_alloc = 800.0;
+        c.migrate_fixed = 400.0;
+        c.context_switch = 306.3;    // +pgd write = 426.3 plain switch_mm;
+                                     // §7.5: VDom's is 451.9 = +6%.
+        c.context_switch_vdom = 25.6;
+        c.memsync_page = 150.0;
+        c.fault_entry = 250.0;
+        c.vmfunc_base = 169.0;       // Table 3 (from EPK / LVD reports).
+        c.vmfunc_mid = 350.0;        // §7.4: inserted per VMFUNC switch.
+        c.vmfunc_many = 830.0;
+        c.pkey_set = 102.0;          // Table 4: libmpk seq, <=15 vdoms.
+        c.mprotect_base = 250.0;
+        c.busy_wait_spin = 200.0;
+        return c;
+    }
+    CostTable c{};
+    c.api_call = 16.5;               // Table 3 ARM column.
+    c.syscall = 268.3;
+    c.perm_reg_write = 18.1;         // DACR write (privileged).
+    c.perm_reg_read = 9.0;
+    c.vdr_update = 40.0;
+    c.perm_compute = 63.1;           // wrvdr = 16.5+268.3+40+63.1+18.1 = 406.
+    c.secure_gate = 0.0;             // ARM API is syscall-gated; no user gate.
+    c.pte_update = 60.0;
+    c.pmd_update = 139.0;            // solves 64MB evict ~ 11,778.
+    c.pt_walk = 140.0;
+    c.pgd_switch = 130.0;
+    c.tlb_hit = 1.0;
+    c.tlb_flush_all = 600.0;
+    c.tlb_flush_asid = 300.0;        // TLBIASID + barriers on Cortex-A53.
+    c.tlb_flush_page = 80.0;
+    c.ipi_post = 700.0;
+    c.ipi_wait = 900.0;
+    c.ipi_handle = 800.0;
+    c.evict_fixed = 1668.0;          // 4KB evict = 406+1668+120+80 = 2,274.
+    c.vds_switch_fixed = 187.0;      // VDS switch = 406+130+187 = 723.
+    c.vds_alloc = 1400.0;
+    c.migrate_fixed = 700.0;
+    c.context_switch = 1209.8;       // +pgd write = 1339.8 plain;
+                                     // §7.5: VDom's 1442.1 = +7.63%.
+    c.context_switch_vdom = 102.3;
+    c.memsync_page = 260.0;
+    c.fault_entry = 450.0;
+    c.vmfunc_base = 0.0;             // No VMFUNC on ARM (Table 3: undefined).
+    c.vmfunc_mid = 0.0;
+    c.vmfunc_many = 0.0;
+    c.pkey_set = 286.4;              // ARM pkey_set needs a syscall
+                                     // (DACR writes are privileged).
+    c.mprotect_base = 400.0;
+    c.busy_wait_spin = 300.0;
+    return c;
+}
+
+ArchParams
+ArchParams::x86(std::size_t cores)
+{
+    ArchParams p;
+    p.kind = ArchKind::kX86;
+    p.page_size = 4096;
+    p.pmd_span_pages = 512;
+    p.num_pdoms = 16;
+    p.default_pdom = 0;
+    p.access_never_pdom = 1;
+    p.num_reserved_pdoms = 2;        // pdom0 default, pdom1 access-never.
+    p.user_perm_reg = true;
+    p.num_cores = cores;
+    p.tlb_entries = 1536;
+    p.asid_slots = 6;                // Linux TLB_NR_DYN_ASIDS.
+    p.range_flush_max_pages = 64;
+    p.cpu_ghz = 2.1;                 // Xeon Gold 6230R.
+    p.costs = default_costs(ArchKind::kX86);
+    return p;
+}
+
+ArchParams
+ArchParams::arm(std::size_t cores)
+{
+    ArchParams p;
+    p.kind = ArchKind::kArm;
+    p.page_size = 4096;
+    p.pmd_span_pages = 512;
+    p.num_pdoms = 16;
+    p.default_pdom = 0;
+    p.access_never_pdom = 1;
+    // pdom0 default, pdom1 access-never, plus kernel + IO domains that
+    // Linux reserves on ARM (§1: "some OS kernels reserve domains").
+    p.num_reserved_pdoms = 4;
+    p.user_perm_reg = false;         // DACR writes are privileged.
+    p.num_cores = cores;
+    p.tlb_entries = 512;             // Cortex-A53 main TLB.
+    p.asid_slots = 0;                // ARM uses generation-based ASIDs.
+    p.range_flush_max_pages = 32;
+    p.cpu_ghz = 1.2;                 // Raspberry Pi 3.
+    p.costs = default_costs(ArchKind::kArm);
+    return p;
+}
+
+}  // namespace vdom::hw

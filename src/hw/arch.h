@@ -1,0 +1,154 @@
+/// \file
+/// Architecture descriptors for the simulated hardware substrate.
+///
+/// VDom targets two real memory-domain primitives: Intel MPK (user-writable
+/// PKRU, 4KB granularity) and the 32-bit ARM Memory Domain (privileged DACR,
+/// section granularity).  The reproduction runs on a cycle-accounting
+/// simulator, so each architecture is described by a parameter block plus a
+/// table of per-event cycle costs.  All calibration lives here: the Table 3
+/// microbenchmark reproduction tunes these constants once, and every macro
+/// result (Figures 1/5/6/7, Tables 4/5) then follows from *event counts*.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vdom::hw {
+
+/// Simulated cycle count.  Double so sub-cycle averages (e.g. the paper's
+/// 6.7-cycle API call) are representable.
+using Cycles = double;
+
+/// Virtual address / virtual page number.
+using VAddr = std::uint64_t;
+using Vpn = std::uint64_t;
+
+/// Physical (hardware) domain identifier: 0..num_pdoms-1.
+using Pdom = std::uint8_t;
+
+/// Address space identifier (PCID on X86).
+using Asid = std::uint32_t;
+
+/// Supported instruction-set architectures.
+enum class ArchKind {
+    kX86,  ///< Intel with MPK: user-space PKRU writes, 4KB pages.
+    kArm,  ///< 32-bit ARM Memory Domain: privileged DACR writes.
+};
+
+/// Returns a human-readable architecture name ("X86" / "ARM").
+const char *arch_name(ArchKind kind);
+
+/// Per-event cycle costs for one architecture.
+///
+/// The values are calibrated so that the Table 3 reproduction
+/// (bench/tab3_micro_ops) lands near the paper's measurements; see
+/// EXPERIMENTS.md for the calibration record.
+struct CostTable {
+    // --- privilege boundary ---------------------------------------------
+    Cycles api_call;            ///< Empty trusted-API call + return.
+    Cycles syscall;             ///< Empty syscall + return (kernel entry/exit).
+
+    // --- permission registers -------------------------------------------
+    Cycles perm_reg_write;      ///< WRPKRU / DACR write (register op only).
+    Cycles perm_reg_read;       ///< RDPKRU / DACR read.
+    Cycles vdr_update;          ///< Update the in-memory VDR array slot.
+    Cycles perm_compute;        ///< Arithmetic merging VDR bits into PKRU/DACR.
+    Cycles secure_gate;         ///< Extra work of the secure call gate
+                                ///  (pdom1 toggle, lsl, stack switch, check).
+
+    // --- page tables ------------------------------------------------------
+    Cycles pte_update;          ///< Retag / disable one PTE.
+    Cycles pmd_update;          ///< Retag / disable one PMD (2MB block).
+    Cycles pt_walk;             ///< Hardware page-table walk on TLB miss.
+    Cycles pgd_switch;          ///< Write page-table base register (no flush).
+
+    // --- TLB ---------------------------------------------------------------
+    Cycles tlb_hit;             ///< TLB lookup that hits.
+    Cycles tlb_flush_all;       ///< Invalidate every local entry.
+    Cycles tlb_flush_asid;      ///< Invalidate one ASID's local entries.
+    Cycles tlb_flush_page;      ///< Invalidate a single page (range flushes
+                                ///  cost this per page, see §5.5).
+    Cycles ipi_post;            ///< Post one inter-processor interrupt.
+    Cycles ipi_wait;            ///< Initiator wait per acked remote core.
+    Cycles ipi_handle;          ///< Remote core's interrupt-handling cost.
+
+    // --- kernel bookkeeping -------------------------------------------------
+    Cycles evict_fixed;         ///< Fixed VDT walk + HLRU + map bookkeeping
+                                ///  per eviction.
+    Cycles vds_switch_fixed;    ///< VDS metadata + perm-register resync on a
+                                ///  pgd switch.
+    Cycles vds_alloc;           ///< Allocate + initialize a new VDS.
+    Cycles migrate_fixed;       ///< Thread-migration bookkeeping (Fig. 3).
+    Cycles context_switch;      ///< Baseline kernel switch_mm cost.
+    Cycles context_switch_vdom; ///< Extra switch_mm cost for VDS metadata.
+    Cycles memsync_page;        ///< Eager per-VDS synchronization of one
+                                ///  page-table entry (§6.2).
+    Cycles fault_entry;         ///< Page/protection fault entry + decode.
+
+    // --- virtualization baselines ------------------------------------------
+    Cycles vmfunc_base;         ///< VMFUNC with few EPTs (EPK, Table 3).
+    Cycles vmfunc_mid;          ///< VMFUNC with a moderate EPT count.
+    Cycles vmfunc_many;         ///< VMFUNC with many EPTs.
+    Cycles pkey_set;            ///< libmpk user-space pkey_set path.
+    Cycles mprotect_base;       ///< mprotect syscall fixed cost (libmpk path).
+    Cycles busy_wait_spin;      ///< One busy-wait poll iteration (libmpk).
+};
+
+/// Returns the calibrated cost table for \p kind.
+CostTable default_costs(ArchKind kind);
+
+/// Design-choice toggles for ablation studies (bench/ablation_design).
+///
+/// Each knob disables one of the paper's optimizations so its contribution
+/// can be measured in isolation; all default to the paper's design.
+struct DesignKnobs {
+    bool pmd_fast_path = true;     ///< §5.5: PMD-level disable/remap for
+                                   ///  2MB-spanning vdoms (off: per-PTE).
+    bool hlru = true;              ///< §5.5: HLRU remap-to-same-pdom
+                                   ///  (off: strict LRU, no pdom affinity).
+    bool asid = true;              ///< §5: ASID-tagged TLB (off: every pgd
+                                   ///  switch flushes the local TLB).
+    bool narrow_shootdown = true;  ///< §5.5: CPU-bitmap-targeted shootdowns
+                                   ///  (off: broadcast to every process
+                                   ///  core, libmpk-style).
+};
+
+/// Full description of one simulated platform.
+struct ArchParams {
+    ArchKind kind = ArchKind::kX86;
+
+    std::size_t page_size = 4096;       ///< Base page size in bytes.
+    std::size_t pmd_span_pages = 512;   ///< Pages covered by one PMD (2MB).
+
+    std::size_t num_pdoms = 16;         ///< Hardware domains (MPK & ARM: 16).
+    Pdom default_pdom = 0;              ///< pdom for unprotected memory.
+    Pdom access_never_pdom = 1;         ///< Eviction target + API protection.
+    std::size_t num_reserved_pdoms = 2; ///< default + access-never (+2 more
+                                        ///  on ARM: kernel and IO domains).
+
+    bool user_perm_reg = true;          ///< PKRU is user-writable; DACR not.
+
+    std::size_t num_cores = 8;          ///< Simulated cores.
+    std::size_t tlb_entries = 1536;     ///< Per-core unified TLB capacity.
+    std::size_t asid_slots = 6;         ///< X86: per-core PCID cache slots.
+    std::size_t range_flush_max_pages = 64;  ///< §5.5: above this, a range
+                                             ///  flush degrades to flush-asid.
+    double cpu_ghz = 2.1;               ///< For cycles -> seconds conversion.
+
+    /// Number of pdoms usable for protected vdoms in one VDS:
+    /// num_pdoms - reserved.
+    std::size_t usable_pdoms() const { return num_pdoms - num_reserved_pdoms; }
+
+    CostTable costs;
+    DesignKnobs knobs;
+
+    /// Calibrated Intel platform (Xeon Gold 6230R-like, 26 cores in the
+    /// paper; default 8 simulated cores for test speed, benches raise it).
+    static ArchParams x86(std::size_t cores = 8);
+    /// Calibrated ARM platform (Raspberry Pi 3-like: 4 cores, small TLB).
+    static ArchParams arm(std::size_t cores = 4);
+};
+
+}  // namespace vdom::hw

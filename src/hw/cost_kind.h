@@ -1,0 +1,114 @@
+/// \file
+/// Cycle-cost categories for breakdown accounting.
+///
+/// Every cycle the simulator charges is tagged with a category, which is
+/// what powers the paper's Figure 1 overhead breakdown and the per-bench
+/// reporting in EXPERIMENTS.md.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "hw/arch.h"
+
+namespace vdom::hw {
+
+/// Category of a cycle charge.
+enum class CostKind : std::uint8_t {
+    kCompute,        ///< Application work (the useful part).
+    kApi,            ///< Trusted-API entry/exit, call gates.
+    kPermReg,        ///< PKRU/DACR and VDR manipulation.
+    kSyscall,        ///< Kernel entry/exit.
+    kTlbMiss,        ///< Page-table walks on TLB misses.
+    kTlbFlush,       ///< Local TLB invalidation instructions.
+    kShootdown,      ///< IPIs: posting, waiting, remote handling.
+    kBusyWait,       ///< Spinning for a free domain (libmpk).
+    kEviction,       ///< PTE/PMD updates + eviction bookkeeping.
+    kPgdSwitch,      ///< VDS switches (pgd writes + metadata).
+    kMigration,      ///< Thread migration between VDSes.
+    kMemSync,        ///< Cross-VDS page-table synchronization.
+    kFault,          ///< Fault entry/decode.
+    kContextSwitch,  ///< Scheduler switch_mm work.
+    kVmExit,         ///< VMFUNC / EPT switches (EPK).
+    kVmOverhead,     ///< VM execution tax (nested paging, virtual IO).
+    kIo,             ///< Device/network IO service time.
+    kIdle,           ///< Waiting for work (closed-loop client starvation).
+    kNumKinds,
+};
+
+constexpr std::size_t kNumCostKinds =
+    static_cast<std::size_t>(CostKind::kNumKinds);
+
+/// Returns a short label for \p kind.
+constexpr const char *
+cost_kind_name(CostKind kind)
+{
+    switch (kind) {
+      case CostKind::kCompute: return "compute";
+      case CostKind::kApi: return "api";
+      case CostKind::kPermReg: return "perm_reg";
+      case CostKind::kSyscall: return "syscall";
+      case CostKind::kTlbMiss: return "tlb_miss";
+      case CostKind::kTlbFlush: return "tlb_flush";
+      case CostKind::kShootdown: return "tlb_shootdown";
+      case CostKind::kBusyWait: return "busy_wait";
+      case CostKind::kEviction: return "eviction";
+      case CostKind::kPgdSwitch: return "pgd_switch";
+      case CostKind::kMigration: return "migration";
+      case CostKind::kMemSync: return "mem_sync";
+      case CostKind::kFault: return "fault";
+      case CostKind::kContextSwitch: return "context_switch";
+      case CostKind::kVmExit: return "vm_exit";
+      case CostKind::kVmOverhead: return "vm_overhead";
+      case CostKind::kIo: return "io";
+      case CostKind::kIdle: return "idle";
+      case CostKind::kNumKinds: break;
+    }
+    return "?";
+}
+
+/// Accumulated cycles per category.
+struct CycleBreakdown {
+    std::array<Cycles, kNumCostKinds> by_kind{};
+
+    void
+    add(CostKind kind, Cycles cycles)
+    {
+        by_kind[static_cast<std::size_t>(kind)] += cycles;
+    }
+
+    Cycles
+    get(CostKind kind) const
+    {
+        return by_kind[static_cast<std::size_t>(kind)];
+    }
+
+    Cycles
+    total() const
+    {
+        Cycles sum = 0;
+        for (Cycles c : by_kind)
+            sum += c;
+        return sum;
+    }
+
+    /// Everything except useful application work and idle time.
+    Cycles
+    overhead() const
+    {
+        return total() - get(CostKind::kCompute) - get(CostKind::kIo) -
+               get(CostKind::kIdle);
+    }
+
+    CycleBreakdown &
+    operator+=(const CycleBreakdown &other)
+    {
+        for (std::size_t i = 0; i < kNumCostKinds; ++i)
+            by_kind[i] += other.by_kind[i];
+        return *this;
+    }
+};
+
+}  // namespace vdom::hw

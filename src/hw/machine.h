@@ -1,0 +1,63 @@
+/// \file
+/// The simulated multiprocessor: parameter block plus a set of cores.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/arch.h"
+#include "hw/core.h"
+
+namespace vdom::hw {
+
+/// Owns the cores of one simulated platform.
+class Machine {
+  public:
+    explicit Machine(const ArchParams &params) : params_(params)
+    {
+        cores_.reserve(params_.num_cores);
+        for (std::size_t i = 0; i < params_.num_cores; ++i)
+            cores_.push_back(std::make_unique<Core>(i, params_));
+    }
+
+    const ArchParams &params() const { return params_; }
+    std::size_t num_cores() const { return cores_.size(); }
+
+    Core &core(std::size_t id) { return *cores_[id]; }
+    const Core &core(std::size_t id) const { return *cores_[id]; }
+
+    /// Aggregate cycle breakdown across all cores.
+    CycleBreakdown
+    total_breakdown() const
+    {
+        CycleBreakdown sum;
+        for (const auto &c : cores_)
+            sum += c->breakdown();
+        return sum;
+    }
+
+    /// Maximum core clock (the simulated wall-clock of a parallel phase).
+    Cycles
+    max_clock() const
+    {
+        Cycles max = 0;
+        for (const auto &c : cores_)
+            max = std::max(max, c->now());
+        return max;
+    }
+
+    /// Resets every core (benchmark setup).
+    void
+    reset()
+    {
+        for (auto &c : cores_)
+            c->reset();
+    }
+
+  private:
+    ArchParams params_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+}  // namespace vdom::hw

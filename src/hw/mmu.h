@@ -1,0 +1,46 @@
+/// \file
+/// Memory access path: TLB lookup -> page-table walk -> domain check.
+
+#pragma once
+
+#include "hw/arch.h"
+#include "hw/core.h"
+#include "hw/page_table.h"
+#include "hw/perm.h"
+
+namespace vdom::hw {
+
+/// Outcome of one simulated memory access.
+enum class AccessOutcome : std::uint8_t {
+    kOk,           ///< Translation present, permission granted.
+    kDomainFault,  ///< Permission register denies the page's pdom
+                   ///  (protection-key fault on Intel, domain fault on ARM).
+    kPageFault,    ///< No translation (demand paging or disabled PMD).
+};
+
+/// Detailed access result.
+struct AccessResult {
+    AccessOutcome outcome = AccessOutcome::kOk;
+    Pdom pdom = 0;             ///< Domain tag of the page (when translated).
+    bool pmd_disabled = false; ///< Page fault came from a disabled PMD.
+    bool tlb_hit = false;
+};
+
+/// Stateless access engine over a core's current (pgd, asid).
+///
+/// Mirrors the hardware sequence from §2: "the processor gets the domain
+/// identifier of the virtual address, checks the access permission to that
+/// address in the register, and raises an exception if any violation is
+/// detected."  Charges TLB-hit or walk cycles on the core.
+class Mmu {
+  public:
+    /// Performs one access to \p vpn on \p core.
+    /// \param write true for a store, false for a load.
+    static AccessResult access(Core &core, Vpn vpn, bool write);
+
+    /// Translation step only (no permission check); used by kernel code
+    /// paths that probe mappings.
+    static AccessResult translate_only(Core &core, Vpn vpn);
+};
+
+}  // namespace vdom::hw

@@ -1,0 +1,304 @@
+/// \file
+/// Domain-tagged page-table model implementation.
+
+#include "hw/page_table.h"
+
+namespace vdom::hw {
+
+Translation
+PageTable::translate(Vpn vpn) const
+{
+    Translation t;
+    auto pmd_it = pmds_.find(pmd_index(vpn));
+    if (pmd_it != pmds_.end()) {
+        const PmdEntry &pmd = pmd_it->second;
+        if (pmd.kind == PmdKind::kDisabled) {
+            t.present = false;
+            t.pmd_disabled = true;
+            return t;
+        }
+        if (pmd.kind == PmdKind::kHuge) {
+            t.present = true;
+            t.huge = true;
+            t.pdom = pmd.pdom;
+            return t;
+        }
+    }
+    auto it = ptes_.find(vpn);
+    if (it == ptes_.end() || !it->second.present)
+        return t;
+    if (it->second.prot_none) {
+        t.prot_none = true;
+        return t;
+    }
+    t.present = true;
+    t.pdom = it->second.pdom;
+    return t;
+}
+
+PtOps
+PageTable::protect_none_range(Vpn vpn, std::uint64_t count)
+{
+    PtOps ops;
+    Vpn v = vpn;
+    Vpn end = vpn + count;
+    while (v < end) {
+        Vpn pmd_base = pmd_index(v);
+        Vpn span_start = pmd_base * pmd_span_;
+        Vpn span_end = span_start + pmd_span_;
+        auto pmd_it = pmds_.find(pmd_base);
+        if (pmd_it != pmds_.end() && pmd_it->second.kind == PmdKind::kHuge &&
+            v == span_start && end >= span_end) {
+            pmd_it->second.kind = PmdKind::kDisabled;
+            pmd_it->second.was_huge = true;
+            ++ops.pmd_writes;
+            v = span_end;
+            continue;
+        }
+        auto it = ptes_.find(v);
+        if (it != ptes_.end() && it->second.present &&
+            !it->second.prot_none) {
+            it->second.prot_none = true;
+            ++ops.pte_writes;
+        }
+        ++v;
+    }
+    return ops;
+}
+
+PtOps
+PageTable::map_page(Vpn vpn, Pdom pdom)
+{
+    PtOps ops;
+    PmdEntry &pmd = pmds_[pmd_index(vpn)];
+    if (pmd.kind != PmdKind::kTable) {
+        // Re-enable the span as a PTE table before installing the page.
+        // Sibling PTEs under a disabled PMD still carry their pre-eviction
+        // tags; neutralize them so re-enabling one page cannot resurrect
+        // the whole evicted span.
+        if (pmd.kind == PmdKind::kDisabled) {
+            Vpn base = pmd_index(vpn) * pmd_span_;
+            for (Vpn p = base; p < base + pmd_span_; ++p) {
+                auto it = ptes_.find(p);
+                if (it != ptes_.end() && it->second.present &&
+                    p != vpn) {
+                    it->second.pdom = access_never_;
+                    ++ops.pte_writes;
+                }
+            }
+        }
+        pmd.kind = PmdKind::kTable;
+        pmd.was_huge = false;
+        ++ops.pmd_writes;
+    }
+    Pte &pte = ptes_[vpn];
+    if (!pte.present)
+        ++pmd.present;
+    pte.present = true;
+    pte.pdom = pdom;
+    ++ops.pte_writes;
+    return ops;
+}
+
+PtOps
+PageTable::unmap_page(Vpn vpn)
+{
+    PtOps ops;
+    auto it = ptes_.find(vpn);
+    if (it == ptes_.end() || !it->second.present)
+        return ops;
+    it->second.present = false;
+    ++ops.pte_writes;
+    auto pmd_it = pmds_.find(pmd_index(vpn));
+    if (pmd_it != pmds_.end() && pmd_it->second.present > 0)
+        --pmd_it->second.present;
+    ptes_.erase(it);
+    return ops;
+}
+
+PtOps
+PageTable::unmap_huge(Vpn vpn)
+{
+    PtOps ops;
+    auto it = pmds_.find(pmd_index(vpn));
+    if (it == pmds_.end())
+        return ops;
+    if (it->second.kind == PmdKind::kHuge ||
+        (it->second.kind == PmdKind::kDisabled && it->second.was_huge)) {
+        pmds_.erase(it);
+        ++ops.pmd_writes;
+    }
+    return ops;
+}
+
+PtOps
+PageTable::map_huge(Vpn vpn, Pdom pdom)
+{
+    PtOps ops;
+    PmdEntry &pmd = pmds_[pmd_index(vpn)];
+    pmd.kind = PmdKind::kHuge;
+    pmd.pdom = pdom;
+    pmd.present = 0;
+    ++ops.pmd_writes;
+    // Drop any stale PTEs shadowed by the huge entry.
+    Vpn base = pmd_index(vpn) * pmd_span_;
+    for (Vpn v = base; v < base + pmd_span_; ++v)
+        ptes_.erase(v);
+    return ops;
+}
+
+bool
+PageTable::span_uniform(Vpn pmd_base, Pdom *pdom_out) const
+{
+    auto pmd_it = pmds_.find(pmd_base);
+    if (pmd_it == pmds_.end())
+        return false;
+    const PmdEntry &pmd = pmd_it->second;
+    if (pmd.kind != PmdKind::kTable || pmd.present != pmd_span_)
+        return false;
+    Vpn base = pmd_base * pmd_span_;
+    auto first = ptes_.find(base);
+    if (first == ptes_.end())
+        return false;
+    Pdom pdom = first->second.pdom;
+    for (Vpn v = base; v < base + pmd_span_; ++v) {
+        auto it = ptes_.find(v);
+        if (it == ptes_.end() || !it->second.present ||
+            it->second.prot_none || it->second.pdom != pdom) {
+            return false;
+        }
+    }
+    if (pdom_out)
+        *pdom_out = pdom;
+    return true;
+}
+
+PtOps
+PageTable::set_pdom_range(Vpn vpn, std::uint64_t count, Pdom pdom,
+                          bool allow_pmd_fast_path)
+{
+    PtOps ops;
+    Vpn v = vpn;
+    Vpn end = vpn + count;
+    while (v < end) {
+        Vpn pmd_base = pmd_index(v);
+        Vpn span_start = pmd_base * pmd_span_;
+        Vpn span_end = span_start + pmd_span_;
+        bool covers_span = (v == span_start && end >= span_end);
+        auto pmd_it = pmds_.find(pmd_base);
+        if (covers_span && pmd_it != pmds_.end()) {
+            PmdEntry &pmd = pmd_it->second;
+            if (pmd.kind == PmdKind::kHuge) {
+                pmd.pdom = pdom;
+                ++ops.pmd_writes;
+                v = span_end;
+                continue;
+            }
+            if (pmd.kind == PmdKind::kDisabled) {
+                if (pmd.was_huge) {
+                    // Restore the huge mapping with the new tag: the PMD is
+                    // the only entry either way.
+                    pmd.kind = PmdKind::kHuge;
+                    pmd.pdom = pdom;
+                    pmd.was_huge = false;
+                    ++ops.pmd_writes;
+                    v = span_end;
+                    continue;
+                }
+                if (allow_pmd_fast_path && pmd.pdom == pdom) {
+                    // §5.5 HLRU remap: the vdom returns to the same pdom it
+                    // last occupied, so the (uniform) PTE tags below the
+                    // disabled PMD are still valid; one PMD write restores
+                    // the whole span without touching 512 PTEs.
+                    pmd.kind = PmdKind::kTable;
+                    ++ops.pmd_writes;
+                    v = span_end;
+                    continue;
+                }
+                // Different pdom: re-enable the span and pay per-PTE retags.
+                pmd.kind = PmdKind::kTable;
+                ++ops.pmd_writes;
+                for (Vpn p = span_start; p < span_end; ++p) {
+                    auto it = ptes_.find(p);
+                    if (it != ptes_.end() && it->second.present) {
+                        it->second.pdom = pdom;
+                        it->second.prot_none = false;
+                        ++ops.pte_writes;
+                    }
+                }
+                v = span_end;
+                continue;
+            }
+        }
+        auto it = ptes_.find(v);
+        if (it != ptes_.end() && it->second.present) {
+            it->second.pdom = pdom;
+            it->second.prot_none = false;
+            ++ops.pte_writes;
+        }
+        ++v;
+    }
+    return ops;
+}
+
+PtOps
+PageTable::disable_range(Vpn vpn, std::uint64_t count, Pdom access_never,
+                         bool allow_pmd_fast_path)
+{
+    PtOps ops;
+    Vpn v = vpn;
+    Vpn end = vpn + count;
+    while (v < end) {
+        Vpn pmd_base = pmd_index(v);
+        Vpn span_start = pmd_base * pmd_span_;
+        Vpn span_end = span_start + pmd_span_;
+        bool covers_span = (v == span_start && end >= span_end);
+        if (covers_span) {
+            auto pmd_it = pmds_.find(pmd_base);
+            if (pmd_it != pmds_.end() &&
+                pmd_it->second.kind == PmdKind::kHuge) {
+                pmd_it->second.kind = PmdKind::kDisabled;
+                pmd_it->second.was_huge = true;
+                ++ops.pmd_writes;
+                v = span_end;
+                continue;
+            }
+            Pdom uniform_pdom = 0;
+            if (allow_pmd_fast_path && span_uniform(pmd_base, &uniform_pdom)) {
+                PmdEntry &pmd = pmds_[pmd_base];
+                pmd.kind = PmdKind::kDisabled;
+                pmd.pdom = uniform_pdom;
+                ++ops.pmd_writes;
+                v = span_end;
+                continue;
+            }
+        }
+        auto it = ptes_.find(v);
+        if (it != ptes_.end() && it->second.present &&
+            it->second.pdom != access_never) {
+            it->second.pdom = access_never;
+            ++ops.pte_writes;
+        }
+        ++v;
+    }
+    return ops;
+}
+
+std::uint64_t
+PageTable::present_pages() const
+{
+    std::uint64_t count = 0;
+    for (const auto &[vpn, pte] : ptes_) {
+        (void)vpn;
+        if (pte.present)
+            ++count;
+    }
+    for (const auto &[idx, pmd] : pmds_) {
+        (void)idx;
+        if (pmd.kind == PmdKind::kHuge)
+            count += pmd_span_;
+    }
+    return count;
+}
+
+}  // namespace vdom::hw

@@ -1,0 +1,143 @@
+/// \file
+/// Domain-tagged hierarchical page-table model.
+///
+/// Each VDS owns one of these (its private pgd); the kernel additionally
+/// keeps a shadow instance as the master copy of the process layout (§6.2).
+/// The model keeps two levels explicit: PTEs (one per 4KB page) and PMDs
+/// (one per 2MB span).  That is enough to express the paper's §5.5
+/// optimization: evicting a vdom whose pages cover whole 2MB spans disables
+/// the PMD in O(1) instead of rewriting 512 PTEs, and huge-page mappings
+/// (used by the libmpk 2MB-page baseline in Fig. 7) are single PMD entries.
+///
+/// The hardware layer is cost-agnostic: every mutator returns the number of
+/// PTE/PMD writes it performed so the caller can charge cycles from the
+/// architecture's CostTable.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "hw/arch.h"
+
+namespace vdom::hw {
+
+/// One page-table entry: present bit plus the domain tag.
+struct Pte {
+    bool present = false;
+    bool prot_none = false;  ///< mprotect(PROT_NONE): faults until restored
+                             ///  (the libmpk eviction mechanism, §3.2).
+    Pdom pdom = 0;
+};
+
+/// Counts of entry writes performed by a page-table mutation.
+struct PtOps {
+    std::uint64_t pte_writes = 0;
+    std::uint64_t pmd_writes = 0;
+
+    PtOps &
+    operator+=(const PtOps &other)
+    {
+        pte_writes += other.pte_writes;
+        pmd_writes += other.pmd_writes;
+        return *this;
+    }
+};
+
+/// Result of a hardware translation through one page table.
+struct Translation {
+    bool present = false;   ///< False: page fault (not mapped or PMD off).
+    bool pmd_disabled = false;  ///< True when the miss came from a disabled
+                                ///  PMD (evicted large region, §5.5).
+    bool prot_none = false;  ///< Miss came from a PROT_NONE page.
+    bool huge = false;       ///< Mapped by a 2MB PMD entry.
+    Pdom pdom = 0;           ///< Domain tag checked against PKRU/DACR.
+};
+
+/// A single address space's page table (one pgd).
+class PageTable {
+  public:
+    /// \param pmd_span_pages pages covered by one PMD entry (512 for 2MB).
+    /// \param access_never pdom used to neutralize stale sibling PTEs when
+    ///        a disabled PMD span must be partially re-enabled.
+    explicit PageTable(std::size_t pmd_span_pages = 512,
+                       Pdom access_never = 1)
+        : pmd_span_(pmd_span_pages), access_never_(access_never) {}
+
+    /// Translates \p vpn.  Never mutates; no cost implied (the TLB model
+    /// charges walk cycles).
+    Translation translate(Vpn vpn) const;
+
+    /// Maps one 4KB page with domain tag \p pdom.
+    PtOps map_page(Vpn vpn, Pdom pdom);
+
+    /// Unmaps one 4KB page.
+    PtOps unmap_page(Vpn vpn);
+
+    /// Removes the huge (or disabled-was-huge) PMD entry covering \p vpn.
+    /// No-op when the span is a normal PTE table.
+    PtOps unmap_huge(Vpn vpn);
+
+    /// Maps a 2MB span as a single huge entry tagged \p pdom.
+    /// \p vpn must be PMD-aligned.
+    PtOps map_huge(Vpn vpn, Pdom pdom);
+
+    /// Retags [vpn, vpn+count) with \p pdom.
+    ///
+    /// When \p allow_pmd_fast_path is set and a whole PMD span is disabled
+    /// or uniformly mapped, the retag costs one PMD write for that span
+    /// (the "remap a large domain to the same pdom" HLRU optimization).
+    PtOps set_pdom_range(Vpn vpn, std::uint64_t count, Pdom pdom,
+                         bool allow_pmd_fast_path);
+
+    /// Disables [vpn, vpn+count): future accesses fault.
+    ///
+    /// Per the paper, evicted pages are retagged with the predefined
+    /// access-never pdom (\p access_never), so a later remap only rewrites
+    /// domain tags.  With \p allow_pmd_fast_path, spans of continuous
+    /// non-huge pages that cover a full PMD are disabled by one PMD write
+    /// instead (§5.5); the prior pdom is remembered for the HLRU
+    /// remap-to-same-pdom optimization.
+    PtOps disable_range(Vpn vpn, std::uint64_t count, Pdom access_never,
+                        bool allow_pmd_fast_path);
+
+    /// mprotect(PROT_NONE) over [vpn, vpn+count): present pages fault until
+    /// a later set_pdom_range restores them.  Per-PTE (no §5.5 fast path —
+    /// this is the baseline mechanism); huge mappings disable their PMD.
+    PtOps protect_none_range(Vpn vpn, std::uint64_t count);
+
+    /// Returns the number of present 4KB-equivalent pages (huge counts as
+    /// pmd_span).  Debug/test helper.
+    std::uint64_t present_pages() const;
+
+    std::size_t pmd_span_pages() const { return pmd_span_; }
+
+    /// PMD-span index containing \p vpn.
+    Vpn pmd_index(Vpn vpn) const { return vpn / pmd_span_; }
+
+  private:
+    enum class PmdKind : std::uint8_t {
+        kTable,     ///< Points to a PTE table (entries in ptes_).
+        kDisabled,  ///< §5.5: whole span faults; saved pdom for remap.
+        kHuge,      ///< 2MB mapping with a single domain tag.
+    };
+
+    struct PmdEntry {
+        PmdKind kind = PmdKind::kTable;
+        Pdom pdom = 0;           ///< For kHuge; for kDisabled: prior pdom.
+        bool was_huge = false;   ///< Disabled entry had a huge backing.
+        std::uint32_t present = 0;  ///< Present PTEs under this PMD.
+    };
+
+    /// True when every page in [base, base+span) is present, same pdom,
+    /// and the span exactly covers the PMD.
+    bool span_uniform(Vpn pmd_base, Pdom *pdom_out) const;
+
+    std::size_t pmd_span_;
+    Pdom access_never_;
+    std::unordered_map<Vpn, Pte> ptes_;
+    std::unordered_map<Vpn, PmdEntry> pmds_;
+};
+
+}  // namespace vdom::hw

@@ -1,0 +1,47 @@
+/// \file
+/// Hardware access-permission encoding shared by PKRU/DACR models.
+
+#pragma once
+
+#include <cstdint>
+
+namespace vdom::hw {
+
+/// Hardware access rights for one domain slot (2 bits in PKRU/DACR).
+///
+/// Encoding follows Intel PKRU: bit 0 = access disable, bit 1 = write
+/// disable.  ARM DACR semantics ("no access" / "client") are mapped onto
+/// the same three states.
+enum class Perm : std::uint8_t {
+    kFullAccess = 0,     ///< Read and write allowed.
+    kWriteDisable = 2,   ///< Read-only.
+    kAccessDisable = 3,  ///< No access.
+};
+
+/// Returns true when \p perm allows a read.
+constexpr bool
+perm_allows_read(Perm perm)
+{
+    return perm != Perm::kAccessDisable;
+}
+
+/// Returns true when \p perm allows a write.
+constexpr bool
+perm_allows_write(Perm perm)
+{
+    return perm == Perm::kFullAccess;
+}
+
+/// Returns a short human-readable permission name.
+constexpr const char *
+perm_name(Perm perm)
+{
+    switch (perm) {
+      case Perm::kFullAccess: return "FA";
+      case Perm::kWriteDisable: return "WD";
+      case Perm::kAccessDisable: return "AD";
+    }
+    return "??";
+}
+
+}  // namespace vdom::hw

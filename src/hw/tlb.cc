@@ -1,0 +1,78 @@
+/// \file
+/// TLB model implementation.
+
+#include "hw/tlb.h"
+
+namespace vdom::hw {
+
+std::optional<TlbEntry>
+Tlb::lookup(Asid asid, Vpn vpn)
+{
+    auto it = map_.find(make_key(asid, vpn));
+    if (it == map_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->entry;
+}
+
+void
+Tlb::insert(Asid asid, Vpn vpn, const TlbEntry &entry)
+{
+    Key key = make_key(asid, vpn);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        it->second->entry = entry;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (map_.size() >= capacity_ && !lru_.empty()) {
+        map_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    lru_.push_front(Node{key, entry});
+    map_[key] = lru_.begin();
+}
+
+void
+Tlb::flush_all()
+{
+    ++stats_.flushes_all;
+    lru_.clear();
+    map_.clear();
+}
+
+void
+Tlb::flush_asid(Asid asid)
+{
+    ++stats_.flushes_asid;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        if ((it->key >> 48) == asid) {
+            map_.erase(it->key);
+            it = lru_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::uint64_t
+Tlb::flush_range(Asid asid, Vpn vpn, std::uint64_t count)
+{
+    std::uint64_t touched = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        auto it = map_.find(make_key(asid, vpn + i));
+        if (it != map_.end()) {
+            lru_.erase(it->second);
+            map_.erase(it);
+            ++touched;
+        }
+    }
+    stats_.flushed_pages += touched;
+    return touched;
+}
+
+}  // namespace vdom::hw

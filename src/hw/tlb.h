@@ -1,0 +1,83 @@
+/// \file
+/// ASID-tagged, capacity-limited translation lookaside buffer model.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "hw/arch.h"
+
+namespace vdom::hw {
+
+/// A cached translation: the domain tag travels with the TLB entry, exactly
+/// as on MPK/ARM hardware ("TLB entries are tagged with the domain
+/// identifier of the pages", §2).
+struct TlbEntry {
+    Pdom pdom = 0;
+    bool huge = false;
+};
+
+/// Per-core unified TLB with true LRU replacement.
+///
+/// Entries are tagged by ASID, so switching page tables does not require a
+/// flush — the mechanism VDom leans on for cheap VDS switches (§5).  The
+/// model tracks hit/miss/flush statistics; the MMU charges walk cycles for
+/// misses and the shootdown manager charges flush cycles.
+class Tlb {
+  public:
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t flushes_all = 0;
+        std::uint64_t flushes_asid = 0;
+        std::uint64_t flushed_pages = 0;  ///< Entries dropped by range flush.
+        std::uint64_t evictions = 0;      ///< Capacity evictions.
+    };
+
+    explicit Tlb(std::size_t capacity) : capacity_(capacity) {}
+
+    /// Looks up (asid, vpn); refreshes LRU position on hit.
+    std::optional<TlbEntry> lookup(Asid asid, Vpn vpn);
+
+    /// Installs a translation, evicting the LRU victim when full.
+    void insert(Asid asid, Vpn vpn, const TlbEntry &entry);
+
+    /// Drops every entry.
+    void flush_all();
+
+    /// Drops every entry tagged \p asid.
+    void flush_asid(Asid asid);
+
+    /// Drops entries for [vpn, vpn+count) in \p asid; returns the number of
+    /// pages actually touched (for range-flush cost accounting).
+    std::uint64_t flush_range(Asid asid, Vpn vpn, std::uint64_t count);
+
+    std::size_t size() const { return map_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    const Stats &stats() const { return stats_; }
+    void reset_stats() { stats_ = Stats{}; }
+
+  private:
+    using Key = std::uint64_t;
+
+    static Key
+    make_key(Asid asid, Vpn vpn)
+    {
+        return (static_cast<std::uint64_t>(asid) << 48) | (vpn & 0xffffffffffffULL);
+    }
+
+    struct Node {
+        Key key;
+        TlbEntry entry;
+    };
+
+    std::size_t capacity_;
+    std::list<Node> lru_;  ///< Front = most recently used.
+    std::unordered_map<Key, std::list<Node>::iterator> map_;
+    Stats stats_;
+};
+
+}  // namespace vdom::hw

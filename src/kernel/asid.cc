@@ -1,0 +1,103 @@
+/// \file
+/// ASID allocator implementations.
+
+#include "kernel/asid.h"
+
+#include <limits>
+
+namespace vdom::kernel {
+
+hw::Asid
+next_unique_asid()
+{
+    static hw::Asid counter = 0;
+    return ++counter;
+}
+
+std::unique_ptr<AsidAllocator>
+AsidAllocator::make(const hw::ArchParams &params)
+{
+    if (params.kind == hw::ArchKind::kX86) {
+        return std::make_unique<X86PcidAllocator>(params.num_cores,
+                                                  params.asid_slots);
+    }
+    return std::make_unique<ArmAsidAllocator>();
+}
+
+X86PcidAllocator::X86PcidAllocator(std::size_t num_cores,
+                                   std::size_t slots_per_core)
+    : slots_per_core_(slots_per_core),
+      slots_(num_cores, std::vector<Slot>(slots_per_core))
+{
+}
+
+AsidAssignment
+X86PcidAllocator::assign(std::size_t core, std::uint64_t ctx_id)
+{
+    ++tick_;
+    auto &core_slots = slots_[core];
+    // Hit: context already cached on this core.
+    for (Slot &slot : core_slots) {
+        if (slot.ctx_id == ctx_id) {
+            slot.lru = tick_;
+            return {slot.asid, false, false};
+        }
+    }
+    // Miss: take an empty slot, else recycle the LRU one (which implies a
+    // flush of that PCID when the generation check fails, as in Linux).
+    Slot *victim = nullptr;
+    for (Slot &slot : core_slots) {
+        if (slot.ctx_id == 0) {
+            victim = &slot;
+            break;
+        }
+    }
+    bool recycled = false;
+    if (!victim) {
+        std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+        for (Slot &slot : core_slots) {
+            if (slot.lru < best) {
+                best = slot.lru;
+                victim = &slot;
+            }
+        }
+        recycled = true;
+        ++flushes_;
+    }
+    victim->ctx_id = ctx_id;
+    victim->asid = next_unique_asid();
+    victim->lru = tick_;
+    return {victim->asid, recycled, false};
+}
+
+ArmAsidAllocator::ArmAsidAllocator(std::size_t space_size)
+    : space_size_(space_size)
+{
+}
+
+AsidAssignment
+ArmAsidAllocator::assign(std::size_t core, std::uint64_t ctx_id)
+{
+    (void)core;
+    auto it = active_.find(ctx_id);
+    if (it != active_.end())
+        return {it->second, false, false};
+    if (used_ + 1 >= space_size_) {
+        // Generation rollover: every context must re-allocate, and all
+        // TLBs are flushed (the caller broadcasts the flush).
+        ++generation_;
+        active_.clear();
+        used_ = 0;
+        ++flushes_;
+        hw::Asid asid = next_unique_asid();
+        active_[ctx_id] = asid;
+        ++used_;
+        return {asid, false, true};
+    }
+    hw::Asid asid = next_unique_asid();
+    active_[ctx_id] = asid;
+    ++used_;
+    return {asid, false, false};
+}
+
+}  // namespace vdom::kernel

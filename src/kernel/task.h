@@ -1,0 +1,133 @@
+/// \file
+/// Thread control block (the paper's extended task_struct, §6.1).
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/perm_register.h"
+#include "kernel/vds.h"
+#include "vdom/vdr.h"
+
+namespace vdom::kernel {
+
+/// One thread.
+///
+/// §6.1: "the per-thread task_struct has two extra fields: a pointer to the
+/// VDS the thread stays in and a pointer to the VDR of the thread.  When
+/// the thread can efficiently switch between several VDSes (determined by
+/// nas in the vdr_alloc API), an array of pointers to VDSes and their
+/// corresponding values in the architectural permission register are also
+/// recorded."
+class Task {
+  public:
+    explicit Task(std::uint32_t tid) : tid_(tid) {}
+
+    std::uint32_t tid() const { return tid_; }
+
+    Vds *vds() const { return vds_; }
+    void set_vds(Vds *vds) { vds_ = vds; }
+
+    /// The thread's VDR; null until vdr_alloc.
+    Vdr *vdr() { return has_vdr_ ? &vdr_ : nullptr; }
+    const Vdr *vdr() const { return has_vdr_ ? &vdr_ : nullptr; }
+
+    bool has_vdr() const { return has_vdr_; }
+
+    void
+    alloc_vdr(std::size_t nas)
+    {
+        has_vdr_ = true;
+        nas_limit_ = nas;
+        vdr_.clear();
+    }
+
+    void
+    free_vdr()
+    {
+        has_vdr_ = false;
+        vdr_.clear();
+        owned_.clear();
+        ref_home_.clear();
+    }
+
+    /// Maximum address spaces the thread may efficiently own (vdr_alloc's
+    /// nas argument).
+    std::size_t nas_limit() const { return nas_limit_; }
+
+    /// VDSes the thread can efficiently switch between (§6.1).  The
+    /// permission-register image for each is rebuilt from the VDR and the
+    /// target's domain map at switch time, because the virtualization
+    /// algorithm "does not generate fixed maps between vdoms and pdoms"
+    /// (§7.1) — a cached image could go stale while the thread is away.
+    std::vector<Vds *> &owned_vdses() { return owned_; }
+    const std::vector<Vds *> &owned_vdses() const { return owned_; }
+
+    bool
+    owns(const Vds *vds) const
+    {
+        for (const Vds *o : owned_)
+            if (o == vds)
+                return true;
+        return false;
+    }
+
+    /// Records ownership (bounded by nas; oldest entry is replaced).
+    void
+    add_owned(Vds *vds)
+    {
+        if (owns(vds))
+            return;
+        if (owned_.size() >= nas_limit_ && !owned_.empty())
+            owned_.erase(owned_.begin());
+        owned_.push_back(vds);
+    }
+
+    /// §6.3: VDom binds each running thread to a particular core so the
+    /// call gate can find the VDR through the per-core sharing page.
+    std::size_t bound_core() const { return bound_core_; }
+    void bind_core(std::size_t core) { bound_core_ = core; }
+
+    // --- active-reference homes -------------------------------------------
+    //
+    // Fig. 3's per-VDS "#thread" counts must be decremented on the VDS
+    // that holds the reference, which is the one where the vdom was
+    // granted — not necessarily the thread's VDS at revocation time.
+
+    /// The VDS currently holding this thread's reference on \p vdom.
+    Vds *
+    ref_home(VdomId vdom) const
+    {
+        auto it = ref_home_.find(vdom);
+        return it == ref_home_.end() ? nullptr : it->second;
+    }
+
+    void set_ref_home(VdomId vdom, Vds *vds) { ref_home_[vdom] = vds; }
+    void clear_ref_home(VdomId vdom) { ref_home_.erase(vdom); }
+
+    /// Iterates (vdom, home VDS) pairs (vdr_free cleanup).
+    template <typename Fn>
+    void
+    for_each_ref_home(Fn &&fn) const
+    {
+        for (const auto &[vdomid, vds] : ref_home_)
+            fn(vdomid, vds);
+    }
+
+    /// Convenience predicate: the thread participates in VDom.
+    bool uses_vdom() const { return has_vdr_; }
+
+  private:
+    std::uint32_t tid_;
+    Vds *vds_ = nullptr;
+    bool has_vdr_ = false;
+    Vdr vdr_;
+    std::size_t nas_limit_ = 1;
+    std::vector<Vds *> owned_;
+    std::unordered_map<VdomId, Vds *> ref_home_;
+    std::size_t bound_core_ = 0;
+};
+
+}  // namespace vdom::kernel

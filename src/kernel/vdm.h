@@ -1,0 +1,96 @@
+/// \file
+/// Per-process Virtual Domain Metadata (§5.3): vdom allocation bitmap plus
+/// the VDT index of protected areas.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/vdt.h"
+#include "vdom/types.h"
+
+namespace vdom::kernel {
+
+/// Attributes of one allocated vdom.
+struct VdomInfo {
+    bool allocated = false;
+    bool frequent = false;  ///< vdom_alloc(freq): prefer eviction over VDS
+                            ///  switch when unmapped (§5.4).
+};
+
+/// Per-process virtual-domain metadata.
+class Vdm {
+  public:
+    Vdm()
+    {
+        // vdom0 is the implicit common domain; vdom1 is reserved for the
+        // trusted API library's pdom1-protected data (§6.3).
+        infos_.push_back({true, true});
+        infos_.push_back({true, false});
+    }
+
+    /// Allocates a fresh vdom id; never fails until the id space
+    /// overflows ("unlimited domains", §5).
+    /// \returns kInvalidVdom on overflow.
+    VdomId
+    alloc(bool frequent)
+    {
+        if (!free_list_.empty()) {
+            VdomId id = free_list_.back();
+            free_list_.pop_back();
+            infos_[id] = {true, frequent};
+            return id;
+        }
+        if (infos_.size() >= static_cast<std::size_t>(kInvalidVdom))
+            return kInvalidVdom;
+        infos_.push_back({true, frequent});
+        return static_cast<VdomId>(infos_.size() - 1);
+    }
+
+    /// Frees \p vdom and drops its VDT chains.
+    /// \returns false when the id was not allocated (or is vdom0).
+    bool
+    free(VdomId vdom)
+    {
+        if (vdom == kCommonVdom || vdom == kApiVdom || !is_allocated(vdom))
+            return false;
+        infos_[vdom] = {};
+        vdt_.clear(vdom);
+        free_list_.push_back(vdom);
+        return true;
+    }
+
+    bool
+    is_allocated(VdomId vdom) const
+    {
+        return vdom < infos_.size() && infos_[vdom].allocated;
+    }
+
+    bool
+    is_frequent(VdomId vdom) const
+    {
+        return vdom < infos_.size() && infos_[vdom].frequent;
+    }
+
+    /// Number of live vdoms (including vdom0).
+    std::size_t
+    live_count() const
+    {
+        return infos_.size() - free_list_.size();
+    }
+
+    /// Total ids ever allocated (high-water mark).
+    std::size_t high_water() const { return infos_.size(); }
+
+    Vdt &vdt() { return vdt_; }
+    const Vdt &vdt() const { return vdt_; }
+
+  private:
+    std::vector<VdomInfo> infos_;
+    std::vector<VdomId> free_list_;
+    Vdt vdt_;
+};
+
+}  // namespace vdom::kernel

@@ -1,0 +1,211 @@
+/// \file
+/// Virtual Domain Space implementation.
+
+#include "kernel/vds.h"
+
+#include <algorithm>
+
+namespace vdom::kernel {
+
+std::uint64_t Vds::next_ctx_id_ = 1;
+
+Vds::Vds(std::uint32_t id, const hw::ArchParams &params)
+    : id_(id),
+      ctx_id_(next_ctx_id_++),
+      params_(&params),
+      pgd_(params.pmd_span_pages),
+      first_usable_(static_cast<hw::Pdom>(params.num_reserved_pdoms)),
+      usable_count_(params.usable_pdoms()),
+      free_count_(params.usable_pdoms()),
+      map_(params.num_pdoms),
+      core_seen_gen_(params.num_cores, 0)
+{
+    // vdom0 (common) is permanently bound to pdom0 in every VDS (Fig. 3).
+    map_[params.default_pdom].vdom = kCommonVdom;
+    reverse_[kCommonVdom] = params.default_pdom;
+}
+
+bool
+Vds::is_mapped(VdomId vdom) const
+{
+    return reverse_.find(vdom) != reverse_.end();
+}
+
+std::optional<hw::Pdom>
+Vds::pdom_of(VdomId vdom) const
+{
+    auto it = reverse_.find(vdom);
+    if (it == reverse_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+VdomId
+Vds::vdom_at(hw::Pdom pdom) const
+{
+    return map_[pdom].vdom;
+}
+
+std::optional<hw::Pdom>
+Vds::find_free_pdom(std::optional<hw::Pdom> preferred) const
+{
+    if (!params_->knobs.hlru)
+        preferred.reset();
+    if (preferred && *preferred >= first_usable_ &&
+        *preferred < params_->num_pdoms &&
+        map_[*preferred].vdom == kInvalidVdom) {
+        return preferred;
+    }
+    for (hw::Pdom p = first_usable_; p < params_->num_pdoms; ++p) {
+        if (map_[p].vdom == kInvalidVdom)
+            return p;
+    }
+    return std::nullopt;
+}
+
+void
+Vds::map_vdom(hw::Pdom pdom, VdomId vdom)
+{
+    MapEntry &entry = map_[pdom];
+    if (entry.vdom == kInvalidVdom && pdom >= first_usable_ &&
+        free_count_ > 0) {
+        --free_count_;
+    }
+    entry.vdom = vdom;
+    entry.nthreads = 0;
+    reverse_[vdom] = pdom;
+    last_pdom_[vdom] = pdom;
+}
+
+void
+Vds::unmap_pdom(hw::Pdom pdom)
+{
+    MapEntry &entry = map_[pdom];
+    if (entry.vdom == kInvalidVdom)
+        return;
+    last_pdom_[entry.vdom] = pdom;
+    reverse_.erase(entry.vdom);
+    entry.vdom = kInvalidVdom;
+    entry.nthreads = 0;
+    if (pdom >= first_usable_)
+        ++free_count_;
+}
+
+void
+Vds::touch(VdomId vdom, hw::Cycles now)
+{
+    auto it = reverse_.find(vdom);
+    if (it != reverse_.end())
+        map_[it->second].last_use = now;
+}
+
+void
+Vds::add_thread_ref(VdomId vdom)
+{
+    auto it = reverse_.find(vdom);
+    if (it != reverse_.end())
+        ++map_[it->second].nthreads;
+}
+
+void
+Vds::remove_thread_ref(VdomId vdom)
+{
+    auto it = reverse_.find(vdom);
+    if (it != reverse_.end() && map_[it->second].nthreads > 0)
+        --map_[it->second].nthreads;
+}
+
+std::uint32_t
+Vds::thread_refs(VdomId vdom) const
+{
+    auto it = reverse_.find(vdom);
+    return it == reverse_.end() ? 0 : map_[it->second].nthreads;
+}
+
+std::optional<hw::Pdom>
+Vds::last_pdom(VdomId vdom) const
+{
+    auto it = last_pdom_.find(vdom);
+    if (it == last_pdom_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<hw::Pdom>
+Vds::choose_victim(VdomId incoming,
+                   const std::function<bool(VdomId)> &evictable,
+                   const std::function<bool(VdomId)> &pinned) const
+{
+    // HLRU step 1: reuse the incoming vdom's previous pdom when its current
+    // occupant is inaccessible and not pinned (§5.5).
+    auto last = params_->knobs.hlru ? last_pdom_.find(incoming)
+                                    : last_pdom_.end();
+    if (last != last_pdom_.end()) {
+        hw::Pdom p = last->second;
+        VdomId occupant = map_[p].vdom;
+        if (occupant != kInvalidVdom && occupant != kCommonVdom &&
+            evictable(occupant) && !pinned(occupant)) {
+            return p;
+        }
+    }
+    // HLRU step 2: LRU among evictable unpinned vdoms.
+    auto scan = [&](bool include_pinned) -> std::optional<hw::Pdom> {
+        std::optional<hw::Pdom> best;
+        hw::Cycles best_tick = 0;
+        for (hw::Pdom p = first_usable_; p < params_->num_pdoms; ++p) {
+            VdomId v = map_[p].vdom;
+            if (v == kInvalidVdom || v == kCommonVdom || !evictable(v))
+                continue;
+            if (!include_pinned && pinned(v))
+                continue;
+            if (!best || map_[p].last_use < best_tick) {
+                best = p;
+                best_tick = map_[p].last_use;
+            }
+        }
+        return best;
+    };
+    if (auto victim = scan(false))
+        return victim;
+    // Pinned vdoms are "less likely to be evicted", not exempt: fall back
+    // to strict LRU including them.
+    return scan(true);
+}
+
+std::vector<std::pair<hw::Pdom, VdomId>>
+Vds::mapped_pairs() const
+{
+    std::vector<std::pair<hw::Pdom, VdomId>> out;
+    for (hw::Pdom p = first_usable_; p < params_->num_pdoms; ++p) {
+        if (map_[p].vdom != kInvalidVdom)
+            out.emplace_back(p, map_[p].vdom);
+    }
+    return out;
+}
+
+bool
+Vds::check_consistency() const
+{
+    std::size_t mapped = 0;
+    for (hw::Pdom p = first_usable_; p < params_->num_pdoms; ++p) {
+        VdomId v = map_[p].vdom;
+        if (v == kInvalidVdom)
+            continue;
+        ++mapped;
+        auto it = reverse_.find(v);
+        if (it == reverse_.end() || it->second != p)
+            return false;
+    }
+    if (mapped + free_count_ != usable_count_)
+        return false;
+    // Reverse map must not contain stale entries (besides vdom0 on pdom0).
+    for (const auto &[vdomid, pdom] : reverse_) {
+        if (map_[pdom].vdom != vdomid)
+            return false;
+        if (vdomid == kCommonVdom && pdom != params_->default_pdom)
+            return false;
+    }
+    return true;
+}
+
+}  // namespace vdom::kernel

@@ -1,0 +1,132 @@
+/// \file
+/// Virtual Domain Table: hierarchical vdom -> protected-area index (§5.3).
+///
+/// "VDM has a hierarchical structure called virtual domain table (VDT),
+/// whose last-level entries point to chained virtual memory areas protected
+/// by the indexing vdom."  The two-level radix bounds memory for sparse id
+/// spaces while keeping lookup O(1); the kernel walks it during eviction to
+/// find every area of the victim vdom.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/arch.h"
+#include "vdom/types.h"
+
+namespace vdom::kernel {
+
+/// One protected memory area chained under a VDT leaf.
+struct VdtArea {
+    hw::Vpn start = 0;
+    std::uint64_t pages = 0;
+    bool huge = false;
+};
+
+/// Two-level radix table indexed by vdom id.
+class Vdt {
+  public:
+    static constexpr std::size_t kLeafBits = 10;
+    static constexpr std::size_t kLeafSize = 1u << kLeafBits;  // 1024
+
+    /// Appends \p area to the chain of \p vdom.
+    void
+    add_area(VdomId vdom, const VdtArea &area)
+    {
+        leaf_for(vdom, true)->chains[vdom & (kLeafSize - 1)].push_back(area);
+    }
+
+    /// Removes all areas of \p vdom (vdom_free).
+    void
+    clear(VdomId vdom)
+    {
+        if (Leaf *leaf = leaf_for(vdom, false))
+            leaf->chains[vdom & (kLeafSize - 1)].clear();
+    }
+
+    /// Removes areas overlapping [vpn, vpn+count) from \p vdom's chain
+    /// (munmap of protected memory).  Partial overlaps are trimmed.
+    void
+    remove_range(VdomId vdom, hw::Vpn vpn, std::uint64_t count)
+    {
+        Leaf *leaf = leaf_for(vdom, false);
+        if (!leaf)
+            return;
+        auto &chain = leaf->chains[vdom & (kLeafSize - 1)];
+        std::vector<VdtArea> kept;
+        for (const VdtArea &a : chain) {
+            hw::Vpn a_end = a.start + a.pages;
+            hw::Vpn r_end = vpn + count;
+            if (a_end <= vpn || a.start >= r_end) {
+                kept.push_back(a);
+                continue;
+            }
+            if (a.start < vpn)
+                kept.push_back({a.start, vpn - a.start, a.huge});
+            if (a_end > r_end)
+                kept.push_back({r_end, a_end - r_end, a.huge});
+        }
+        chain = std::move(kept);
+    }
+
+    /// Returns the chained areas of \p vdom (empty when none).
+    const std::vector<VdtArea> &
+    areas(VdomId vdom) const
+    {
+        static const std::vector<VdtArea> kEmpty;
+        std::size_t hi = vdom >> kLeafBits;
+        if (hi >= roots_.size() || !roots_[hi])
+            return kEmpty;
+        return roots_[hi]->chains[vdom & (kLeafSize - 1)];
+    }
+
+    /// Total pages protected by \p vdom.
+    std::uint64_t
+    protected_pages(VdomId vdom) const
+    {
+        std::uint64_t total = 0;
+        for (const VdtArea &a : areas(vdom))
+            total += a.pages;
+        return total;
+    }
+
+    /// Number of allocated leaf tables (memory-footprint metric).
+    std::size_t
+    num_leaves() const
+    {
+        std::size_t n = 0;
+        for (const auto &leaf : roots_)
+            if (leaf)
+                ++n;
+        return n;
+    }
+
+  private:
+    struct Leaf {
+        std::array<std::vector<VdtArea>, kLeafSize> chains;
+    };
+
+    Leaf *
+    leaf_for(VdomId vdom, bool create)
+    {
+        std::size_t hi = vdom >> kLeafBits;
+        if (hi >= roots_.size()) {
+            if (!create)
+                return nullptr;
+            roots_.resize(hi + 1);
+        }
+        if (!roots_[hi]) {
+            if (!create)
+                return nullptr;
+            roots_[hi] = std::make_unique<Leaf>();
+        }
+        return roots_[hi].get();
+    }
+
+    std::vector<std::unique_ptr<Leaf>> roots_;
+};
+
+}  // namespace vdom::kernel

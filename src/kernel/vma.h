@@ -1,0 +1,96 @@
+/// \file
+/// Virtual memory areas and the process-wide address-space layout.
+///
+/// All VDSes of a process share one layout ("address translation is shared
+/// across VDSes for all virtual addresses", §5.3); only the pdom tags in
+/// each VDS's page table differ.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "hw/arch.h"
+#include "vdom/types.h"
+
+namespace vdom::kernel {
+
+/// One mapped region.  The extended vm_flags carry the owning vdom (§6.2:
+/// "Linux kernel identifies the vdom of the fault address through the
+/// extended vm_flags in VMA").
+struct Vma {
+    hw::Vpn start = 0;          ///< First page.
+    std::uint64_t pages = 0;    ///< Length in pages.
+    VdomId vdom = kCommonVdom;  ///< Owning virtual domain.
+    bool huge = false;          ///< Mapped with 2MB pages.
+
+    hw::Vpn end() const { return start + pages; }
+    bool contains(hw::Vpn vpn) const { return vpn >= start && vpn < end(); }
+};
+
+/// Ordered set of VMAs (Linux keeps these in a red-black tree; std::map
+/// provides the same ordered-tree semantics).
+class VmaTree {
+  public:
+    /// Inserts a region.  The caller guarantees no overlap (MmStruct's
+    /// mmap allocates disjoint ranges).
+    void
+    insert(const Vma &vma)
+    {
+        vmas_[vma.start] = vma;
+    }
+
+    /// Removes the region starting at \p start; returns true if found.
+    bool
+    erase(hw::Vpn start)
+    {
+        return vmas_.erase(start) > 0;
+    }
+
+    /// Finds the VMA containing \p vpn.
+    const Vma *
+    find(hw::Vpn vpn) const
+    {
+        auto it = vmas_.upper_bound(vpn);
+        if (it == vmas_.begin())
+            return nullptr;
+        --it;
+        return it->second.contains(vpn) ? &it->second : nullptr;
+    }
+
+    Vma *
+    find_mutable(hw::Vpn vpn)
+    {
+        auto it = vmas_.upper_bound(vpn);
+        if (it == vmas_.begin())
+            return nullptr;
+        --it;
+        return it->second.contains(vpn) ? &it->second : nullptr;
+    }
+
+    /// Collects the VMAs overlapping [vpn, vpn+count).
+    std::vector<Vma *>
+    overlapping(hw::Vpn vpn, std::uint64_t count)
+    {
+        std::vector<Vma *> out;
+        auto it = vmas_.upper_bound(vpn);
+        if (it != vmas_.begin())
+            --it;
+        for (; it != vmas_.end() && it->second.start < vpn + count; ++it) {
+            if (it->second.end() > vpn)
+                out.push_back(&it->second);
+        }
+        return out;
+    }
+
+    std::size_t size() const { return vmas_.size(); }
+    auto begin() const { return vmas_.begin(); }
+    auto end() const { return vmas_.end(); }
+
+  private:
+    std::map<hw::Vpn, Vma> vmas_;
+};
+
+}  // namespace vdom::kernel

@@ -1,0 +1,186 @@
+/// \file
+/// Deterministic discrete-event multicore engine.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "hw/machine.h"
+#include "kernel/process.h"
+#include "sim/thread.h"
+
+namespace vdom::sim {
+
+/// Runs SimThreads over the simulated machine.
+///
+/// Scheduling model:
+///  - threads are pinned to cores (§6.3: VDom binds threads to cores);
+///    multiple threads per core time-share with a configurable slice and
+///    pay context-switch costs through the kernel Process;
+///  - the engine always advances the runnable core with the minimum local
+///    clock (ties broken by core id), which yields a causally consistent,
+///    fully deterministic interleaving.
+class Engine {
+  public:
+    /// \param proc kernel process used for context-switch accounting; may
+    ///        be null for bare microbenchmarks (no switch costs charged).
+    /// \param time_slice preemption quantum in cycles.
+    Engine(hw::Machine &machine, kernel::Process *proc = nullptr,
+           hw::Cycles time_slice = 1'000'000)
+        : machine_(&machine),
+          proc_(proc),
+          time_slice_(time_slice),
+          queues_(machine.num_cores()),
+          slice_start_(machine.num_cores(), 0)
+    {
+    }
+
+    /// Adds \p thread pinned to \p core (or round-robin when < 0).
+    void
+    add_thread(SimThread *thread, int core = -1)
+    {
+        std::size_t c = core >= 0
+            ? static_cast<std::size_t>(core) % machine_->num_cores()
+            : next_core_++ % machine_->num_cores();
+        queues_[c].push_back(thread);
+        ++live_threads_;
+    }
+
+    /// Runs until every thread finishes.
+    void
+    run()
+    {
+        while (live_threads_ > 0)
+            step_once();
+    }
+
+    /// Runs until every thread finishes or the minimum runnable clock
+    /// passes \p deadline.
+    void
+    run_until(hw::Cycles deadline)
+    {
+        while (live_threads_ > 0) {
+            std::size_t c = pick_core();
+            if (machine_->core(c).now() >= deadline)
+                return;
+            step_core(c);
+        }
+    }
+
+    std::size_t live_threads() const { return live_threads_; }
+
+    std::uint64_t context_switches() const { return context_switches_; }
+
+    /// Total thread steps executed (diagnostics / livelock detection).
+    std::uint64_t steps() const { return steps_; }
+
+  private:
+    std::size_t
+    pick_core()
+    {
+        std::size_t best = 0;
+        hw::Cycles best_clock = 0;
+        bool found = false;
+        for (std::size_t c = 0; c < queues_.size(); ++c) {
+            if (queues_[c].empty())
+                continue;
+            hw::Cycles clock = machine_->core(c).now();
+            if (!found || clock < best_clock) {
+                best = c;
+                best_clock = clock;
+                found = true;
+            }
+        }
+        return best;
+    }
+
+    void
+    step_once()
+    {
+        step_core(pick_core());
+    }
+
+    void
+    step_core(std::size_t c)
+    {
+        ++steps_;
+        auto &queue = queues_[c];
+        hw::Core &core = machine_->core(c);
+        // Preempt when the slice expired and another thread waits.
+        if (queue.size() > 1 &&
+            core.now() - slice_start_[c] >= time_slice_) {
+            queue.push_back(queue.front());
+            queue.pop_front();
+            switch_in(core, *queue.front());
+            slice_start_[c] = core.now();
+        }
+        SimThread *thread = queue.front();
+        ensure_installed(core, *thread);
+        if (!thread->step(core)) {
+            queue.pop_front();
+            --live_threads_;
+            if (!queue.empty()) {
+                switch_in(core, *queue.front());
+                slice_start_[c] = core.now();
+            }
+            return;
+        }
+        // A yielding thread (blocked waiting for work) is descheduled in
+        // favour of the next runnable thread on this core.
+        if (thread->take_yield() && queue.size() > 1) {
+            queue.push_back(queue.front());
+            queue.pop_front();
+            switch_in(core, *queue.front());
+            slice_start_[c] = core.now();
+        }
+    }
+
+    void
+    switch_in(hw::Core &core, SimThread &thread)
+    {
+        ++context_switches_;
+        kernel::Process *proc = process_for(thread);
+        if (proc && thread.task())
+            proc->switch_to(core, *thread.task());
+        installed_[core.id()] = &thread;
+    }
+
+    /// The process to context-switch through: the thread's own when set
+    /// (multi-process machines), else the engine-wide default.
+    kernel::Process *
+    process_for(SimThread &thread) const
+    {
+        return thread.process() ? thread.process() : proc_;
+    }
+
+    /// First run of a thread on its core installs its address space
+    /// without charging a context switch.
+    void
+    ensure_installed(hw::Core &core, SimThread &thread)
+    {
+        if (installed_.size() != machine_->num_cores())
+            installed_.resize(machine_->num_cores(), nullptr);
+        if (installed_[core.id()] == &thread)
+            return;
+        kernel::Process *proc = process_for(thread);
+        if (proc && thread.task())
+            proc->switch_to(core, *thread.task(),
+                            installed_[core.id()] != nullptr);
+        installed_[core.id()] = &thread;
+    }
+
+    hw::Machine *machine_;
+    kernel::Process *proc_;
+    hw::Cycles time_slice_;
+    std::vector<std::deque<SimThread *>> queues_;
+    std::vector<hw::Cycles> slice_start_;
+    std::vector<SimThread *> installed_;
+    std::size_t next_core_ = 0;
+    std::size_t live_threads_ = 0;
+    std::uint64_t context_switches_ = 0;
+    std::uint64_t steps_ = 0;
+};
+
+}  // namespace vdom::sim

@@ -1,0 +1,69 @@
+/// \file
+/// Deterministic RNG (xoshiro256**) for workload generation.
+///
+/// Benchmarks must be bit-for-bit reproducible, so all randomness flows
+/// through explicitly seeded instances of this generator — never through
+/// std::random_device or global state.
+
+#pragma once
+
+#include <cstdint>
+
+namespace vdom::sim {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, adapted).
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound).
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return bound == 0 ? 0 : next() % bound;
+    }
+
+    /// Uniform double in [0, 1).
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+}  // namespace vdom::sim

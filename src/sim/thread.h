@@ -1,0 +1,64 @@
+/// \file
+/// Workload thread interface for the discrete-event engine.
+
+#pragma once
+
+#include "hw/core.h"
+#include "kernel/process.h"
+#include "kernel/task.h"
+
+namespace vdom::sim {
+
+/// One simulated application thread.
+///
+/// Workloads implement step(): perform one logical unit of work (one
+/// request, one protected operation, ...), charging cycles on the core
+/// they were handed.  The engine interleaves threads in causal
+/// (minimum-local-time) order, so cross-thread effects — contended
+/// domains, busy waiting, shootdown latency — emerge from the schedule.
+class SimThread {
+  public:
+    virtual ~SimThread() = default;
+
+    /// Performs one unit of work on \p core.
+    /// \returns false when the thread has finished.
+    virtual bool step(hw::Core &core) = 0;
+
+    /// The kernel task this thread runs as (for context switching);
+    /// may be null for bare-metal microbenchmark loops.
+    kernel::Task *task() const { return task_; }
+    void set_task(kernel::Task *task) { task_ = task; }
+
+    /// The process the task belongs to.  Optional: when set, the engine
+    /// context-switches through it instead of the engine-wide default,
+    /// which lets threads of several processes share one machine.
+    kernel::Process *process() const { return process_; }
+    void
+    set_task(kernel::Process &process, kernel::Task *task)
+    {
+        process_ = &process;
+        task_ = task;
+    }
+
+    /// Called from step() when the thread has nothing to do (blocked in
+    /// accept(), waiting for work): the engine deschedules it in favour of
+    /// the next runnable thread on the core instead of letting it burn the
+    /// rest of its time slice.
+    void yield() { yielded_ = true; }
+
+    /// Engine-side: consumes the yield flag.
+    bool
+    take_yield()
+    {
+        bool y = yielded_;
+        yielded_ = false;
+        return y;
+    }
+
+  private:
+    kernel::Task *task_ = nullptr;
+    kernel::Process *process_ = nullptr;
+    bool yielded_ = false;
+};
+
+}  // namespace vdom::sim

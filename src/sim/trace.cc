@@ -1,0 +1,71 @@
+/// \file
+/// Event tracer implementation.
+
+#include "sim/trace.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace vdom::sim {
+
+namespace {
+Tracer *g_sink = nullptr;
+}  // namespace
+
+const char *
+trace_event_name(TraceEvent event)
+{
+    switch (event) {
+      case TraceEvent::kMapFree: return "map_free";
+      case TraceEvent::kEvict: return "evict";
+      case TraceEvent::kVdsSwitch: return "vds_switch";
+      case TraceEvent::kMigration: return "migration";
+      case TraceEvent::kVdsCreate: return "vds_create";
+      case TraceEvent::kFault: return "fault";
+      case TraceEvent::kSigsegv: return "sigsegv";
+      case TraceEvent::kShootdown: return "shootdown";
+    }
+    return "?";
+}
+
+Tracer *
+trace_sink()
+{
+    return g_sink;
+}
+
+void
+set_trace_sink(Tracer *tracer)
+{
+    g_sink = tracer;
+}
+
+std::string
+Tracer::format(const TraceRecord &rec)
+{
+    std::ostringstream out;
+    out << "[" << static_cast<std::uint64_t>(rec.when) << "] "
+        << trace_event_name(rec.event);
+    if (rec.tid != 0)
+        out << " tid=" << rec.tid;
+    if (rec.vdom != kInvalidVdom)
+        out << " vdom=" << rec.vdom;
+    if (rec.vds_from != rec.vds_to)
+        out << " vds " << rec.vds_from << "->" << rec.vds_to;
+    else
+        out << " vds=" << rec.vds_from;
+    return out.str();
+}
+
+void
+Tracer::dump(std::ostream &out) const
+{
+    for (const TraceRecord &rec : records_)
+        out << format(rec) << "\n";
+    if (total_ > records_.size()) {
+        out << "(" << (total_ - records_.size())
+            << " earlier events dropped)\n";
+    }
+}
+
+}  // namespace vdom::sim

@@ -1,0 +1,139 @@
+/// \file
+/// Lightweight event tracer for debugging and analysis.
+///
+/// A bounded ring buffer of typed events (domain mapped, evicted, VDS
+/// switched, thread migrated, fault, shootdown).  Tracing is opt-in and
+/// zero-cost when no tracer is attached; the virtualization layer emits
+/// events through the global hook.  Intended uses: post-mortem analysis in
+/// tests ("exactly one migration happened, from VDS 0 to VDS 1"), and
+/// human-readable dumps when debugging workload models.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hw/arch.h"
+#include "vdom/types.h"
+
+namespace vdom::sim {
+
+/// Kinds of traced events.
+enum class TraceEvent : std::uint8_t {
+    kMapFree,     ///< vdom mapped to a free pdom (❸).
+    kEvict,       ///< vdom evicted from a VDS (❺).
+    kVdsSwitch,   ///< thread switched pgd (❺).
+    kMigration,   ///< thread migrated to another VDS (❼/❽).
+    kVdsCreate,   ///< new VDS allocated (❽).
+    kFault,       ///< page/domain fault handled.
+    kSigsegv,     ///< access violation delivered.
+    kShootdown,   ///< remote TLB shootdown issued.
+};
+
+/// Returns a short label for \p event.
+const char *trace_event_name(TraceEvent event);
+
+/// One trace record.
+struct TraceRecord {
+    TraceEvent event;
+    hw::Cycles when = 0;        ///< Core-local time of the event.
+    std::uint32_t tid = 0;      ///< Acting thread (0 = n/a).
+    VdomId vdom = kInvalidVdom; ///< Subject vdom (kInvalidVdom = n/a).
+    std::uint32_t vds_from = 0; ///< Source VDS id.
+    std::uint32_t vds_to = 0;   ///< Destination VDS id (same = n/a).
+};
+
+/// Bounded ring of trace records.
+class Tracer {
+  public:
+    explicit Tracer(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+    void
+    record(const TraceRecord &rec)
+    {
+        if (records_.size() >= capacity_)
+            records_.pop_front();
+        records_.push_back(rec);
+        ++total_;
+    }
+
+    /// Events currently retained (oldest first).
+    const std::deque<TraceRecord> &records() const { return records_; }
+
+    /// Total events ever recorded (including dropped ones).
+    std::uint64_t total() const { return total_; }
+
+    /// Count of retained records matching \p event.
+    std::size_t
+    count(TraceEvent event) const
+    {
+        std::size_t n = 0;
+        for (const TraceRecord &r : records_)
+            if (r.event == event)
+                ++n;
+        return n;
+    }
+
+    /// Retained records matching \p event, oldest first.
+    std::vector<TraceRecord>
+    filter(TraceEvent event) const
+    {
+        std::vector<TraceRecord> out;
+        for (const TraceRecord &r : records_)
+            if (r.event == event)
+                out.push_back(r);
+        return out;
+    }
+
+    void
+    clear()
+    {
+        records_.clear();
+        total_ = 0;
+    }
+
+    /// Writes a human-readable dump of the retained records.
+    void dump(std::ostream &out) const;
+
+    /// One-line rendering of a record.
+    static std::string format(const TraceRecord &rec);
+
+  private:
+    std::size_t capacity_;
+    std::deque<TraceRecord> records_;
+    std::uint64_t total_ = 0;
+};
+
+/// Global trace hook: null by default (no cost); tests and tools attach a
+/// Tracer around the region of interest.
+Tracer *trace_sink();
+void set_trace_sink(Tracer *tracer);
+
+/// Emits \p rec if a sink is attached.
+inline void
+trace(const TraceRecord &rec)
+{
+    if (Tracer *sink = trace_sink())
+        sink->record(rec);
+}
+
+/// RAII attachment of a tracer (restores the previous sink).
+class ScopedTrace {
+  public:
+    explicit ScopedTrace(Tracer &tracer) : previous_(trace_sink())
+    {
+        set_trace_sink(&tracer);
+    }
+    ~ScopedTrace() { set_trace_sink(previous_); }
+
+    ScopedTrace(const ScopedTrace &) = delete;
+    ScopedTrace &operator=(const ScopedTrace &) = delete;
+
+  private:
+    Tracer *previous_;
+};
+
+}  // namespace vdom::sim

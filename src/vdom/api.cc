@@ -1,0 +1,306 @@
+/// \file
+/// VDom API implementation.
+
+#include "vdom/api.h"
+
+#include "sim/trace.h"
+
+namespace vdom {
+
+VdomSystem::VdomSystem(kernel::Process &proc)
+    : proc_(&proc),
+      virt_(proc),
+      gate_(proc.params().access_never_pdom)
+{
+}
+
+VdomStatus
+VdomSystem::vdom_init(hw::Core &core)
+{
+    if (initialized_)
+        return VdomStatus::kOk;
+    const hw::CostTable &costs = core.costs();
+    core.charge(hw::CostKind::kSyscall, costs.syscall);
+    // Allocate the API region (VDR arrays + secure sharing page) and lock
+    // it under the access-never pdom for the whole process lifetime (§6.3).
+    kernel::MmStruct &mm = proc_->mm();
+    api_region_ = mm.mmap(kApiRegionPages);
+    VdomStatus st =
+        mm.assign_vdom(core, api_region_, kApiRegionPages, kApiVdom);
+    if (st != VdomStatus::kOk)
+        return st;
+    // Touch the pages so they are present (and pdom1-tagged) everywhere.
+    for (std::uint64_t i = 0; i < kApiRegionPages; ++i)
+        mm.fault_in(core, *mm.vds0(), api_region_ + i);
+    initialized_ = true;
+    return VdomStatus::kOk;
+}
+
+VdomId
+VdomSystem::vdom_alloc(hw::Core &core, bool frequent)
+{
+    if (!initialized_)
+        return kInvalidVdom;
+    core.charge(hw::CostKind::kSyscall, core.costs().syscall);
+    return proc_->mm().vdm().alloc(frequent);
+}
+
+VdomStatus
+VdomSystem::vdom_free(hw::Core &core, VdomId vdom)
+{
+    if (!initialized_)
+        return VdomStatus::kNotInitialized;
+    if (vdom == kCommonVdom || vdom == kApiVdom)
+        return VdomStatus::kPermissionDenied;
+    kernel::MmStruct &mm = proc_->mm();
+    if (!mm.vdm().is_allocated(vdom))
+        return VdomStatus::kInvalidVdom;
+    core.charge(hw::CostKind::kSyscall, core.costs().syscall);
+    // Unmap from every VDS that holds it; the pages return to the
+    // access-never pdom until (if ever) reassigned.
+    for (const auto &vds : mm.vdses()) {
+        if (auto pdom = vds->pdom_of(vdom)) {
+            mm.evict_vdom_from_vds(core, *vds, vdom);
+            vds->unmap_pdom(*pdom);
+        }
+    }
+    mm.vdm().free(vdom);
+    return VdomStatus::kOk;
+}
+
+VdomStatus
+VdomSystem::vdom_mprotect(hw::Core &core, hw::Vpn vpn, std::uint64_t pages,
+                          VdomId vdom)
+{
+    if (!initialized_)
+        return VdomStatus::kNotInitialized;
+    if (vdom == kApiVdom)
+        return VdomStatus::kPermissionDenied;
+    const hw::CostTable &costs = core.costs();
+    core.charge(hw::CostKind::kSyscall,
+                costs.syscall + costs.mprotect_base);
+    return proc_->mm().assign_vdom(core, vpn, pages, vdom);
+}
+
+VdomStatus
+VdomSystem::vdom_mprotect_bytes(hw::Core &core, hw::VAddr addr,
+                                std::uint64_t len, VdomId vdom)
+{
+    if (len == 0)
+        return VdomStatus::kInvalidRange;
+    std::uint64_t ps = proc_->params().page_size;
+    hw::Vpn first = addr / ps;
+    hw::Vpn last = (addr + len - 1) / ps;
+    return vdom_mprotect(core, first, last - first + 1, vdom);
+}
+
+VdomStatus
+VdomSystem::vdr_alloc(hw::Core &core, kernel::Task &task, std::size_t nas)
+{
+    if (!initialized_)
+        return VdomStatus::kNotInitialized;
+    if (task.has_vdr())
+        return VdomStatus::kVdrInUse;
+    core.charge(hw::CostKind::kSyscall, core.costs().syscall);
+    task.alloc_vdr(nas == 0 ? 1 : nas);
+    task.add_owned(task.vds());
+    return VdomStatus::kOk;
+}
+
+VdomStatus
+VdomSystem::vdr_free(hw::Core &core, kernel::Task &task)
+{
+    if (!task.has_vdr())
+        return VdomStatus::kNoVdr;
+    core.charge(hw::CostKind::kSyscall, core.costs().syscall);
+    // Drop this thread's active references wherever they live.
+    task.for_each_ref_home([](VdomId v, kernel::Vds *home) {
+        if (home)
+            home->remove_thread_ref(v);
+    });
+    task.free_vdr();
+    core.perm_reg().reset();
+    return VdomStatus::kOk;
+}
+
+void
+VdomSystem::charge_api_entry(hw::Core &core, ApiMode mode)
+{
+    const hw::CostTable &costs = core.costs();
+    const hw::ArchParams &params = proc_->params();
+    core.charge(hw::CostKind::kApi, costs.api_call);
+    if (params.user_perm_reg) {
+        // Intel: user-space PKRU path, optionally through the call gate.
+        if (mode == ApiMode::kSecure)
+            core.charge(hw::CostKind::kApi, costs.secure_gate);
+    } else {
+        // ARM: the DACR write is privileged — every call syscalls.
+        core.charge(hw::CostKind::kSyscall, costs.syscall);
+    }
+}
+
+void
+VdomSystem::sync_hw_slot(hw::Core &core, kernel::Task &task, VdomId vdom,
+                         hw::Pdom pdom)
+{
+    // The hardware register belongs to whichever task is installed on the
+    // core: a cross-thread VDR update (e.g. a kernel-side revocation on
+    // the target's behalf) must not clobber an unrelated running thread's
+    // register image — the VDR change takes effect when the target is
+    // next installed (Process::rebuild_perm_reg).
+    kernel::Task *installed = proc_->running_on(core.id());
+    if (installed && installed != &task)
+        return;
+    const Vdr *vdr = task.vdr();
+    VPerm perm = vdr ? vdr->get(vdom) : VPerm::kAccessDisable;
+    core.perm_reg().set(pdom, to_hw_perm(perm));
+}
+
+VdomStatus
+VdomSystem::wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
+                  VPerm perm, ApiMode mode)
+{
+    ++stats_.wrvdr_calls;
+    if (!initialized_)
+        return VdomStatus::kNotInitialized;
+    if (!task.has_vdr())
+        return VdomStatus::kNoVdr;
+    if (vdom == kApiVdom)
+        return VdomStatus::kPermissionDenied;
+    if (!proc_->mm().vdm().is_allocated(vdom))
+        return VdomStatus::kInvalidVdom;
+
+    const hw::CostTable &costs = core.costs();
+    charge_api_entry(core, mode);
+    // VDR array update + permission arithmetic + register read/write.
+    core.charge(hw::CostKind::kPermReg, costs.vdr_update + costs.perm_compute);
+    if (proc_->params().user_perm_reg)
+        core.charge(hw::CostKind::kPermReg, costs.perm_reg_read);
+    core.charge(hw::CostKind::kPermReg, costs.perm_reg_write);
+
+    Vdr &vdr = *task.vdr();
+    VPerm old = vdr.set(vdom, perm);
+
+    kernel::Vds *before = task.vds();
+    if (vperm_active(perm)) {
+        // Granting access: the vdom must be mapped somewhere usable (the
+        // algorithm may switch/migrate the thread, §5.4).  On ARM the API
+        // already runs in the kernel (the DACR write is privileged), so
+        // the slow path does not pay a second kernel entry.
+        auto pdom = virt_.ensure_mapped(
+            core, task, vdom,
+            /*charge_kernel_entry=*/proc_->params().user_perm_reg);
+        if (!pdom)
+            return VdomStatus::kInvalidVdom;
+        kernel::Vds *after = task.vds();
+        (void)before;
+        if (!vperm_active(old)) {
+            after->add_thread_ref(vdom);
+            task.set_ref_home(vdom, after);
+        } else if (kernel::Vds *home = task.ref_home(vdom);
+                   home != after) {
+            // Already active, but the grant landed in a different VDS
+            // (the algorithm switched/remapped): move the reference.
+            if (home)
+                home->remove_thread_ref(vdom);
+            after->add_thread_ref(vdom);
+            task.set_ref_home(vdom, after);
+        }
+        after->touch(vdom, core.now());
+        sync_hw_slot(core, task, vdom, *pdom);
+    } else {
+        // Revoking access: drop the reference on the VDS that holds it
+        // (not necessarily the current one) and clear the hardware slot.
+        if (vperm_active(old)) {
+            if (kernel::Vds *home = task.ref_home(vdom))
+                home->remove_thread_ref(vdom);
+            else
+                task.vds()->remove_thread_ref(vdom);
+            task.clear_ref_home(vdom);
+        }
+        if (auto pdom = task.vds()->pdom_of(vdom))
+            sync_hw_slot(core, task, vdom, *pdom);
+    }
+    return VdomStatus::kOk;
+}
+
+VPerm
+VdomSystem::rdvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
+                  ApiMode mode)
+{
+    ++stats_.rdvdr_calls;
+    if (!task.has_vdr())
+        return VPerm::kAccessDisable;
+    const hw::CostTable &costs = core.costs();
+    charge_api_entry(core, mode);
+    core.charge(hw::CostKind::kPermReg, costs.vdr_update);
+    return task.vdr()->get(vdom);
+}
+
+VAccess
+VdomSystem::access(hw::Core &core, kernel::Task &task, hw::Vpn vpn,
+                   bool write)
+{
+    ++stats_.accesses;
+    kernel::MmStruct &mm = proc_->mm();
+    const hw::CostTable &costs = core.costs();
+
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        hw::AccessResult res = hw::Mmu::access(core, vpn, write);
+        if (res.outcome == hw::AccessOutcome::kOk)
+            return VAccess{true, false, res.pdom};
+
+        ++stats_.faults;
+        core.charge(hw::CostKind::kFault, costs.fault_entry);
+        VdomId vdom = mm.vdom_of(vpn);
+        sim::trace({sim::TraceEvent::kFault, core.now(), task.tid(), vdom,
+                    task.vds()->id(), task.vds()->id()});
+
+        // §6.2: the kernel identifies the vdom via the VMA's extended
+        // vm_flags and inspects the per-thread VDR; violations SIGSEGV.
+        const kernel::Vma *vma = mm.vmas().find(vpn);
+        if (!vma) {
+            ++stats_.sigsegv;
+            return VAccess{false, true, 0};
+        }
+        bool allowed = true;
+        if (vdom == kApiVdom) {
+            // API data: legal only while inside the call gate (pdom1 open).
+            allowed = gate_.inside(core);
+        } else if (vdom != kCommonVdom) {
+            const Vdr *vdr = task.vdr();
+            VPerm perm = vdr ? vdr->get(vdom) : VPerm::kAccessDisable;
+            allowed =
+                write ? perm == VPerm::kFullAccess : vperm_active(perm);
+        }
+        if (!allowed) {
+            ++stats_.sigsegv;
+            sim::trace({sim::TraceEvent::kSigsegv, core.now(), task.tid(),
+                        vdom, task.vds()->id(), task.vds()->id()});
+            return VAccess{false, true, 0};
+        }
+
+        // Legitimate fault: demand paging and/or an unmapped / evicted
+        // vdom.  Make the vdom usable, fault the page in, and retry.
+        if (vdom != kCommonVdom && vdom != kApiVdom) {
+            auto pdom = virt_.ensure_mapped(core, task, vdom, false);
+            if (pdom)
+                sync_hw_slot(core, task, vdom, *pdom);
+        }
+        if (!mm.fault_in(core, *task.vds(), vpn)) {
+            ++stats_.sigsegv;
+            return VAccess{false, true, 0};
+        }
+    }
+    ++stats_.sigsegv;
+    return VAccess{false, true, 0};
+}
+
+void
+VdomSystem::reset_stats()
+{
+    stats_ = Stats{};
+    virt_.reset_stats();
+}
+
+}  // namespace vdom

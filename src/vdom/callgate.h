@@ -1,0 +1,68 @@
+/// \file
+/// Intel API call gate (§6.3, Fig. 4).
+///
+/// On Intel, PKRU is user-writable, so the trusted API library must protect
+/// its own data (VDRs, spilled stack state) from the untrusted program.
+/// The gate (a) grants the running core full access to pdom1 at entry and
+/// revokes it at exit, (b) locates the thread's VDR through the per-core
+/// secure sharing page (the lsl trick), (c) switches to a pdom1-protected
+/// stack, and (d) defends the exit wrpkru against control-flow hijacking by
+/// re-checking the written value.
+///
+/// The model is functional: it mutates the core's permission register the
+/// way the assembly in Fig. 4 does, and exposes the hijack check so the
+/// §7.2 penetration tests can attack it.
+
+#pragma once
+
+#include <cstdint>
+
+#include "hw/arch.h"
+#include "hw/core.h"
+#include "hw/perm_register.h"
+
+namespace vdom {
+
+/// Per-call state of one gate traversal.
+struct GateFrame {
+    std::uint32_t saved_pkru = 0;  ///< Register image at entry.
+    bool on_secure_stack = false;
+};
+
+/// The secure call gate.
+class CallGate {
+  public:
+    explicit CallGate(hw::Pdom api_pdom) : api_pdom_(api_pdom) {}
+
+    /// Enters the gate (Fig. 4 lines 1-17): charges the secure-gate cost,
+    /// grants pdom1 full access, switches to the protected stack.
+    GateFrame enter(hw::Core &core) const;
+
+    /// Exits the gate (Fig. 4 lines 19-32): installs \p target_pkru merged
+    /// with access-disable for pdom1, performs the hijack check, restores
+    /// the user stack.
+    ///
+    /// \returns true when the exit check passes.  A false return models the
+    /// `jne illegal` path: the program must be terminated (the penetration
+    /// tests assert this fires for hijacked eax values).
+    bool exit(hw::Core &core, GateFrame &frame,
+              std::uint32_t target_pkru) const;
+
+    /// The exit-check predicate in isolation (Fig. 4 lines 29-31): is the
+    /// pdom1 field of \p eax exactly access-disable?
+    bool exit_value_legal(std::uint32_t eax) const;
+
+    /// True while the core currently holds pdom1 access (inside the gate).
+    bool
+    inside(const hw::Core &core) const
+    {
+        return core.perm_reg().get(api_pdom_) == hw::Perm::kFullAccess;
+    }
+
+    hw::Pdom api_pdom() const { return api_pdom_; }
+
+  private:
+    hw::Pdom api_pdom_;
+};
+
+}  // namespace vdom

@@ -1,0 +1,157 @@
+/// \file
+/// Compartment: the ergonomic RAII layer over the raw Table 1 API.
+///
+/// A Compartment bundles a vdom, its protected memory (grown on demand
+/// through a DomainAllocator), and scoped permission management:
+///
+///     Compartment secrets(vdom, core);
+///     auto key = secrets.allocate(core, 256);
+///     {
+///         ScopedAccess open(secrets, core, task);       // wrvdr(FA)
+///         vdom.access(core, task, key.page(ps), true);  // ok
+///     }                                                  // wrvdr(AD)
+///     // key is unreachable again
+///
+/// Guards are what make the "enable exactly around use" discipline the
+/// paper's applications follow (§7.6) hard to get wrong: access cannot
+/// outlive the guard, early returns and exceptions close the domain, and
+/// nesting is explicit.
+
+#pragma once
+
+#include <cstdint>
+
+#include "hw/core.h"
+#include "vdom/api.h"
+#include "vdom/secure_alloc.h"
+
+namespace vdom {
+
+/// One isolation compartment.
+class Compartment {
+  public:
+    /// Creates a compartment with a fresh vdom.
+    /// \param frequent the vdom_alloc frequently-accessed hint.
+    Compartment(VdomSystem &sys, hw::Core &core, bool frequent = false)
+        : sys_(&sys), arena_(sys, core, frequent)
+    {
+    }
+
+    VdomSystem &system() { return *sys_; }
+    VdomId domain() const { return arena_.domain(); }
+
+    /// Allocates protected memory inside the compartment.
+    SecureAllocation
+    allocate(hw::Core &core, std::uint64_t bytes, std::uint64_t align = 8)
+    {
+        return arena_.allocate(core, bytes, align);
+    }
+
+    /// Places an existing region under the compartment's domain.
+    VdomStatus
+    adopt(hw::Core &core, hw::Vpn vpn, std::uint64_t pages)
+    {
+        return sys_->vdom_mprotect(core, vpn, pages, arena_.domain());
+    }
+
+    /// Grants/revokes the calling thread's view (prefer ScopedAccess).
+    VdomStatus
+    open(hw::Core &core, kernel::Task &task,
+         VPerm perm = VPerm::kFullAccess)
+    {
+        return sys_->wrvdr(core, task, arena_.domain(), perm);
+    }
+
+    VdomStatus
+    close(hw::Core &core, kernel::Task &task)
+    {
+        return sys_->wrvdr(core, task, arena_.domain(),
+                           VPerm::kAccessDisable);
+    }
+
+    /// Closes with the pinned state: still inaccessible, but the HLRU
+    /// policy keeps the mapping warm for the next open (§5.5).
+    VdomStatus
+    park(hw::Core &core, kernel::Task &task)
+    {
+        return sys_->wrvdr(core, task, arena_.domain(), VPerm::kPinned);
+    }
+
+    DomainAllocator &arena() { return arena_; }
+
+  private:
+    VdomSystem *sys_;
+    DomainAllocator arena_;
+};
+
+/// RAII permission guard: open on construction, access-disable on
+/// destruction.  Move-only.
+class ScopedAccess {
+  public:
+    ScopedAccess(Compartment &compartment, hw::Core &core,
+                 kernel::Task &task, VPerm perm = VPerm::kFullAccess)
+        : compartment_(&compartment), core_(&core), task_(&task)
+    {
+        compartment_->open(*core_, *task_, perm);
+    }
+
+    /// Downgrades the view in place (e.g. FA while writing, WD after).
+    void
+    downgrade(VPerm perm)
+    {
+        if (compartment_)
+            compartment_->open(*core_, *task_, perm);
+    }
+
+    ~ScopedAccess()
+    {
+        if (compartment_)
+            compartment_->close(*core_, *task_);
+    }
+
+    ScopedAccess(ScopedAccess &&other) noexcept
+        : compartment_(other.compartment_),
+          core_(other.core_),
+          task_(other.task_)
+    {
+        other.compartment_ = nullptr;
+    }
+
+    ScopedAccess(const ScopedAccess &) = delete;
+    ScopedAccess &operator=(const ScopedAccess &) = delete;
+    ScopedAccess &operator=(ScopedAccess &&) = delete;
+
+  private:
+    Compartment *compartment_;
+    hw::Core *core_;
+    kernel::Task *task_;
+};
+
+/// RAII guard that parks (pins) instead of fully closing: for hot
+/// compartments reopened soon.
+class ScopedPinnedAccess {
+  public:
+    ScopedPinnedAccess(Compartment &compartment, hw::Core &core,
+                       kernel::Task &task,
+                       VPerm perm = VPerm::kFullAccess)
+        : compartment_(&compartment), core_(&core), task_(&task)
+    {
+        compartment_->open(*core_, *task_, perm);
+    }
+
+    ~ScopedPinnedAccess()
+    {
+        if (compartment_)
+            compartment_->park(*core_, *task_);
+    }
+
+    ScopedPinnedAccess(const ScopedPinnedAccess &) = delete;
+    ScopedPinnedAccess &operator=(const ScopedPinnedAccess &) = delete;
+
+  private:
+    Compartment *compartment_;
+    hw::Core *core_;
+    kernel::Task *task_;
+};
+
+}  // namespace vdom

@@ -1,0 +1,115 @@
+/// \file
+/// Introspection implementation.
+
+#include "vdom/introspect.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace vdom {
+
+IntrospectSummary
+summarize(VdomSystem &sys)
+{
+    kernel::Process &proc = sys.process();
+    kernel::MmStruct &mm = proc.mm();
+    IntrospectSummary s;
+    s.vdses = mm.num_vdses();
+    s.live_vdoms = mm.vdm().live_count();
+    s.vdt_leaves = mm.vdm().vdt().num_leaves();
+    for (const auto &vds : mm.vdses()) {
+        s.mapped_slots += vds->mapped_pairs().size();
+        s.free_slots += vds->free_pdoms();
+        s.resident_threads += vds->resident_threads();
+    }
+    for (const auto &[start, vma] : mm.vmas()) {
+        (void)start;
+        if (vma.vdom != kCommonVdom)
+            s.protected_pages += vma.pages;
+    }
+    return s;
+}
+
+std::string
+format_domain_map(const kernel::Vds &vds, const hw::ArchParams &params)
+{
+    std::ostringstream out;
+    out << "VDS" << vds.id() << "  (ctx " << vds.ctx_id() << ", "
+        << vds.resident_threads() << " resident, tlb_gen "
+        << vds.tlb_gen() << ")\n";
+    out << "  pdom  vdom      #thread\n";
+    for (hw::Pdom p = 0; p < params.num_pdoms; ++p) {
+        VdomId v = vds.vdom_at(p);
+        out << "  " << static_cast<int>(p);
+        out << (p < 10 ? "     " : "    ");
+        if (p == params.default_pdom) {
+            out << "0 (common)\n";
+            continue;
+        }
+        if (p == params.access_never_pdom) {
+            out << "- (access-never)\n";
+            continue;
+        }
+        if (p < params.num_reserved_pdoms) {
+            out << "- (reserved)\n";
+            continue;
+        }
+        if (v == kInvalidVdom) {
+            out << "-         -\n";
+        } else {
+            std::string id = std::to_string(v);
+            out << id << std::string(id.size() < 10 ? 10 - id.size() : 1,
+                                     ' ')
+                << vds.thread_refs(v) << "\n";
+        }
+    }
+    return out.str();
+}
+
+void
+dump_state(VdomSystem &sys, std::ostream &out)
+{
+    kernel::Process &proc = sys.process();
+    kernel::MmStruct &mm = proc.mm();
+    const hw::ArchParams &params = proc.params();
+    IntrospectSummary s = summarize(sys);
+
+    out << "=== VDom process state (" << hw::arch_name(params.kind)
+        << ") ===\n";
+    out << "vdoms: " << s.live_vdoms << " live (high water "
+        << mm.vdm().high_water() << "), protected pages: "
+        << s.protected_pages << ", VDT leaves: " << s.vdt_leaves << "\n";
+    out << "address spaces: " << s.vdses << " (" << s.mapped_slots
+        << " mapped slots, " << s.free_slots << " free)\n\n";
+
+    for (const auto &vds : mm.vdses())
+        out << format_domain_map(*vds, params) << "\n";
+
+    out << "threads:\n";
+    for (const auto &task : proc.tasks()) {
+        out << "  tid " << task->tid() << ": vds "
+            << (task->vds() ? static_cast<int>(task->vds()->id()) : -1);
+        if (task->has_vdr()) {
+            out << ", nas " << task->nas_limit() << ", active vdoms {";
+            bool first = true;
+            task->vdr()->for_each_active([&](VdomId v, VPerm perm) {
+                if (!first)
+                    out << ", ";
+                out << v << ":" << vperm_name(perm);
+                first = false;
+            });
+            out << "}";
+        } else {
+            out << " (no VDR)";
+        }
+        out << "\n";
+    }
+
+    const DomainVirtualizer::Stats &vs = sys.virtualizer().stats();
+    out << "\nalgorithm counters: hits " << vs.hits << ", map-free "
+        << vs.maps_free << ", switches " << vs.vds_switches
+        << ", evictions " << vs.evictions << ", migrations "
+        << vs.migrations << ", vds-allocs " << vs.vds_allocs << "\n";
+}
+
+}  // namespace vdom

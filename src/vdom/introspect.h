@@ -1,0 +1,42 @@
+/// \file
+/// Introspection: human-readable reports of the live VDom state.
+///
+/// The vdomctl-style view a kernel developer would get from a debugfs
+/// node: per-VDS domain maps (the Fig. 3 tables), per-thread VDR
+/// summaries, VDT occupancy, and the virtualization-algorithm counters.
+/// Used by tests to assert on global state and by examples for
+/// explanatory output.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "kernel/process.h"
+#include "vdom/api.h"
+
+namespace vdom {
+
+/// Snapshot metrics of a live VDom process.
+struct IntrospectSummary {
+    std::size_t vdses = 0;
+    std::size_t live_vdoms = 0;         ///< Allocated vdoms (incl. 0 and 1).
+    std::size_t mapped_slots = 0;       ///< (pdom, vdom) pairs in all maps.
+    std::size_t free_slots = 0;         ///< Free usable pdoms in all maps.
+    std::size_t resident_threads = 0;   ///< Sum over VDSes.
+    std::uint64_t protected_pages = 0;  ///< Pages under any non-zero vdom.
+    std::size_t vdt_leaves = 0;         ///< Allocated VDT leaf tables.
+};
+
+/// Computes the snapshot metrics for \p sys's process.
+IntrospectSummary summarize(VdomSystem &sys);
+
+/// Writes the full report (domain maps, threads, counters) to \p out.
+void dump_state(VdomSystem &sys, std::ostream &out);
+
+/// Renders one VDS's domain map in the Fig. 3 table format:
+/// pdom | vdom | #thread rows.
+std::string format_domain_map(const kernel::Vds &vds,
+                              const hw::ArchParams &params);
+
+}  // namespace vdom

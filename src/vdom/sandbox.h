@@ -1,0 +1,88 @@
+/// \file
+/// Memory-domain sandbox layered on VDom (§7.1, Table 2).
+///
+/// The paper ports one defense from each class the state-of-the-art MPK
+/// sandboxes (ERIM, Hodor, Cerberus) implement:
+///
+///   ❶ binary scan     — refuse to make code pages executable when they
+///     contain unvetted wrpkru/xrstor byte sequences;
+///   ❷ call-gate check — validate the PKRU image after a domain switch
+///     against a *dynamically reconstructed* expectation (VDom's domain
+///     maps are not fixed, so the classic compare-with-constant is
+///     replaced by VDR x domain-map reconstruction);
+///   ❸ syscall filter  — kernel paths that touch memory on a caller's
+///     behalf (process_vm_readv and friends) re-check the caller's VDR,
+///     closing the confused-deputy channel (§4).
+///
+/// The facade also enforces the "trusted library address is locked once
+/// loaded" rule: no syscall may re-protect or unmap the API region.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/core.h"
+#include "vdom/api.h"
+
+namespace vdom {
+
+/// Sandbox statistics.
+struct SandboxStats {
+    std::uint64_t pages_scanned = 0;
+    std::uint64_t scan_rejections = 0;
+    std::uint64_t gate_checks = 0;
+    std::uint64_t gate_violations = 0;
+    std::uint64_t filtered_syscalls = 0;
+    std::uint64_t filter_denials = 0;
+};
+
+/// Cerberus-style sandbox over one VDom process.
+class Sandbox {
+  public:
+    explicit Sandbox(VdomSystem &sys) : sys_(&sys) {}
+
+    // --- ❶ binary scan ---------------------------------------------------
+
+    /// True when \p code contains no wrpkru (0F 01 EF) or xrstor
+    /// (0F AE /5) byte sequence.
+    static bool code_is_safe(const std::vector<std::uint8_t> &code);
+
+    /// Loader hook: scans \p image before it may become executable.
+    /// Charges scan cost; false = the mapping is refused.
+    bool allow_executable(hw::Core &core,
+                          const std::vector<std::uint8_t> &image);
+
+    // --- ❷ call-gate check ------------------------------------------------
+
+    /// Reconstructs the PKRU image \p task should have right now from its
+    /// VDR and its current VDS's domain map (pdom1 access-disabled).
+    std::uint32_t expected_pkru(const kernel::Task &task) const;
+
+    /// Post-switch check (the paper: "check the shared domain map again
+    /// after wrpkru"): compares the live register on \p core against the
+    /// reconstruction.  False = control-flow hijacking suspected; the
+    /// process must be terminated.
+    bool check_gate_exit(hw::Core &core, const kernel::Task &task);
+
+    // --- ❸ syscall filter -------------------------------------------------
+
+    /// process_vm_readv-style kernel access on behalf of \p caller: the
+    /// filter routes the permission decision through the caller's VDR
+    /// exactly as a user-mode access would.
+    VAccess filtered_kernel_access(hw::Core &core, kernel::Task &caller,
+                                   hw::Vpn vpn, bool write);
+
+    /// Guard for protection-changing syscalls: the trusted API region is
+    /// locked for the process lifetime (§7.1), and protected regions obey
+    /// address-space integrity via the normal vdom_mprotect path.
+    bool mprotect_allowed(hw::Vpn vpn, std::uint64_t pages) const;
+
+    const SandboxStats &stats() const { return stats_; }
+
+  private:
+    VdomSystem *sys_;
+    SandboxStats stats_;
+};
+
+}  // namespace vdom

@@ -1,0 +1,108 @@
+/// \file
+/// Core VDom value types shared by the kernel abstraction and the API
+/// library.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "hw/perm.h"
+
+namespace vdom {
+
+/// Virtual domain identifier.  Unlimited (up to integer overflow, §5):
+/// allocation never fails while ids remain.
+using VdomId = std::uint32_t;
+
+/// vdom0 is the common/default domain covering all unprotected memory;
+/// it is permanently mapped to pdom0 in every VDS (Fig. 3).
+constexpr VdomId kCommonVdom = 0;
+
+/// vdom1 protects the trusted API library's critical data (VDRs, spilled
+/// stacks) on Intel; it is permanently bound to the access-never pdom in
+/// every VDS and can never be named through the user API (§6.3).
+constexpr VdomId kApiVdom = 1;
+
+/// Invalid vdom sentinel.
+constexpr VdomId kInvalidVdom = std::numeric_limits<VdomId>::max();
+
+/// Access rights a thread can hold on a vdom via its VDR (§5.2).
+///
+/// In addition to MPK's full-access / write-disable / access-disable, VDom
+/// introduces the *pinned* type: access-disabled but less likely to be
+/// evicted under the HLRU policy (§5.5).
+enum class VPerm : std::uint8_t {
+    kFullAccess = 0,
+    kWriteDisable = 1,
+    kAccessDisable = 2,
+    kPinned = 3,
+};
+
+/// Maps a VDR permission to the hardware register encoding.
+constexpr hw::Perm
+to_hw_perm(VPerm perm)
+{
+    switch (perm) {
+      case VPerm::kFullAccess: return hw::Perm::kFullAccess;
+      case VPerm::kWriteDisable: return hw::Perm::kWriteDisable;
+      case VPerm::kAccessDisable:
+      case VPerm::kPinned: return hw::Perm::kAccessDisable;
+    }
+    return hw::Perm::kAccessDisable;
+}
+
+/// True when a thread holding \p perm counts as "accessing" the vdom for
+/// the purposes of domain-map thread counts and migration fit (Fig. 3).
+constexpr bool
+vperm_active(VPerm perm)
+{
+    return perm == VPerm::kFullAccess || perm == VPerm::kWriteDisable;
+}
+
+/// Returns a short label ("FA"/"WD"/"AD"/"PIN").
+constexpr const char *
+vperm_name(VPerm perm)
+{
+    switch (perm) {
+      case VPerm::kFullAccess: return "FA";
+      case VPerm::kWriteDisable: return "WD";
+      case VPerm::kAccessDisable: return "AD";
+      case VPerm::kPinned: return "PIN";
+    }
+    return "??";
+}
+
+/// API error codes (Table 1 calls return these; success = kOk).
+enum class VdomStatus : std::uint8_t {
+    kOk = 0,
+    kNotInitialized,   ///< vdom_init has not been called.
+    kInvalidVdom,      ///< Unknown or freed vdom id.
+    kInvalidRange,     ///< Bad address range for vdom_mprotect.
+    kAlreadyAssigned,  ///< Address-space integrity: region already owns a
+                       ///  different vdom (§7.2).
+    kNoVdr,            ///< Thread has not called vdr_alloc.
+    kVdrInUse,         ///< vdr_alloc called twice.
+    kIdExhausted,      ///< vdom id space overflow.
+    kPermissionDenied, ///< Attempt to manipulate a reserved domain.
+};
+
+/// Returns a short label for \p status.
+constexpr const char *
+status_name(VdomStatus status)
+{
+    switch (status) {
+      case VdomStatus::kOk: return "ok";
+      case VdomStatus::kNotInitialized: return "not_initialized";
+      case VdomStatus::kInvalidVdom: return "invalid_vdom";
+      case VdomStatus::kInvalidRange: return "invalid_range";
+      case VdomStatus::kAlreadyAssigned: return "already_assigned";
+      case VdomStatus::kNoVdr: return "no_vdr";
+      case VdomStatus::kVdrInUse: return "vdr_in_use";
+      case VdomStatus::kIdExhausted: return "id_exhausted";
+      case VdomStatus::kPermissionDenied: return "permission_denied";
+    }
+    return "?";
+}
+
+}  // namespace vdom

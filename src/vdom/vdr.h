@@ -1,0 +1,89 @@
+/// \file
+/// Virtual Domain Register: the per-thread virtualized permission register
+/// (§5.2).
+///
+/// "VDom introduces a per-thread array called virtual domain register (VDR),
+/// every 2 bits of which represents the access right to memory protected by
+/// the corresponding vdom."  Unlike the 16-slot hardware register, the VDR
+/// is indexed by *vdom* and therefore unlimited.  On Intel the array lives
+/// in pdom1-protected pages and is only touched inside the call gate (§6.3).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "vdom/types.h"
+
+namespace vdom {
+
+/// Per-thread virtual permission array.
+class Vdr {
+  public:
+    /// Reads the thread's permission on \p vdom (default: access disable,
+    /// except full access on the common vdom0).
+    VPerm
+    get(VdomId vdom) const
+    {
+        if (vdom == kCommonVdom)
+            return VPerm::kFullAccess;
+        auto it = perms_.find(vdom);
+        return it == perms_.end() ? VPerm::kAccessDisable : it->second;
+    }
+
+    /// Writes the thread's permission on \p vdom; returns the old value.
+    VPerm
+    set(VdomId vdom, VPerm perm)
+    {
+        VPerm old = get(vdom);
+        if (perm == VPerm::kAccessDisable)
+            perms_.erase(vdom);
+        else
+            perms_[vdom] = perm;
+        if (vperm_active(old) && !vperm_active(perm))
+            --active_count_;
+        else if (!vperm_active(old) && vperm_active(perm))
+            ++active_count_;
+        return old;
+    }
+
+    /// Number of vdoms the thread currently holds FA/WD on (its "active
+    /// set" — what must stay simultaneously mapped, Fig. 3).
+    std::size_t active_count() const { return active_count_; }
+
+    /// Iterates the thread's active vdoms (FA/WD).
+    template <typename Fn>
+    void
+    for_each_active(Fn &&fn) const
+    {
+        for (const auto &[vdomid, perm] : perms_) {
+            if (vperm_active(perm))
+                fn(vdomid, perm);
+        }
+    }
+
+    /// Iterates every non-default entry (including pinned).
+    template <typename Fn>
+    void
+    for_each(Fn &&fn) const
+    {
+        for (const auto &[vdomid, perm] : perms_)
+            fn(vdomid, perm);
+    }
+
+    /// Drops every entry (vdr_free).
+    void
+    clear()
+    {
+        perms_.clear();
+        active_count_ = 0;
+    }
+
+  private:
+    /// Ordered so iteration (migration mapping order, Fig. 3) is
+    /// deterministic and lowest-id-first.
+    std::map<VdomId, VPerm> perms_;
+    std::size_t active_count_ = 0;
+};
+
+}  // namespace vdom

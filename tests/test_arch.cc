@@ -1,0 +1,117 @@
+/// \file
+/// Architecture-descriptor tests: the calibrated constants carry the
+/// platform properties every other module relies on.
+
+#include <gtest/gtest.h>
+
+#include "hw/arch.h"
+#include "hw/cost_kind.h"
+
+namespace vdom::hw {
+namespace {
+
+TEST(Arch, X86Defaults)
+{
+    ArchParams p = ArchParams::x86();
+    EXPECT_EQ(p.kind, ArchKind::kX86);
+    EXPECT_EQ(p.num_pdoms, 16u);
+    EXPECT_EQ(p.num_reserved_pdoms, 2u);
+    EXPECT_EQ(p.usable_pdoms(), 14u);
+    EXPECT_TRUE(p.user_perm_reg);
+    EXPECT_EQ(p.default_pdom, 0);
+    EXPECT_EQ(p.access_never_pdom, 1);
+}
+
+TEST(Arch, ArmDefaults)
+{
+    ArchParams p = ArchParams::arm();
+    EXPECT_EQ(p.kind, ArchKind::kArm);
+    EXPECT_EQ(p.num_pdoms, 16u);
+    // pdom0 default, pdom1 access-never, kernel + IO domains.
+    EXPECT_EQ(p.num_reserved_pdoms, 4u);
+    EXPECT_EQ(p.usable_pdoms(), 12u);
+    EXPECT_FALSE(p.user_perm_reg);
+}
+
+TEST(Arch, CoreCountConfigurable)
+{
+    EXPECT_EQ(ArchParams::x86(26).num_cores, 26u);
+    EXPECT_EQ(ArchParams::arm(4).num_cores, 4u);
+}
+
+TEST(Arch, Table3AnchorsX86)
+{
+    // The paper's directly-measured primitives (Table 3) are cost-table
+    // constants; composites are covered by bench/tab3_micro_ops.
+    CostTable c = default_costs(ArchKind::kX86);
+    EXPECT_DOUBLE_EQ(c.api_call, 6.7);
+    EXPECT_DOUBLE_EQ(c.syscall, 173.4);
+    EXPECT_DOUBLE_EQ(c.perm_reg_write, 25.6);
+    EXPECT_DOUBLE_EQ(c.vmfunc_base, 169.0);
+}
+
+TEST(Arch, Table3AnchorsArm)
+{
+    CostTable c = default_costs(ArchKind::kArm);
+    EXPECT_DOUBLE_EQ(c.api_call, 16.5);
+    EXPECT_DOUBLE_EQ(c.syscall, 268.3);
+    EXPECT_DOUBLE_EQ(c.perm_reg_write, 18.1);
+    // No VMFUNC on ARM (Table 3: "undefined").
+    EXPECT_DOUBLE_EQ(c.vmfunc_base, 0.0);
+}
+
+TEST(Arch, FastWrvdrDecompositionX86)
+{
+    // fast wrvdr = api + vdr + compute + rdpkru + wrpkru = 68.8 (Table 3).
+    CostTable c = default_costs(ArchKind::kX86);
+    EXPECT_NEAR(c.api_call + c.vdr_update + c.perm_compute +
+                    c.perm_reg_read + c.perm_reg_write,
+                68.8, 0.1);
+    // secure adds the gate: 104 total.
+    EXPECT_NEAR(c.api_call + c.vdr_update + c.perm_compute +
+                    c.perm_reg_read + c.perm_reg_write + c.secure_gate,
+                104.0, 0.1);
+}
+
+TEST(Arch, WrvdrDecompositionArm)
+{
+    // ARM wrvdr is syscall-gated: 406 cycles (Table 3, both variants).
+    CostTable c = default_costs(ArchKind::kArm);
+    EXPECT_NEAR(c.api_call + c.syscall + c.vdr_update + c.perm_compute +
+                    c.perm_reg_write,
+                406.0, 0.5);
+}
+
+TEST(Arch, Names)
+{
+    EXPECT_STREQ(arch_name(ArchKind::kX86), "X86");
+    EXPECT_STREQ(arch_name(ArchKind::kArm), "ARM");
+}
+
+TEST(CostKind, NamesAndBreakdown)
+{
+    CycleBreakdown b;
+    b.add(CostKind::kCompute, 100);
+    b.add(CostKind::kIo, 50);
+    b.add(CostKind::kIdle, 25);
+    b.add(CostKind::kEviction, 10);
+    b.add(CostKind::kBusyWait, 5);
+    EXPECT_DOUBLE_EQ(b.total(), 190.0);
+    EXPECT_DOUBLE_EQ(b.overhead(), 15.0);
+    EXPECT_STREQ(cost_kind_name(CostKind::kBusyWait), "busy_wait");
+    EXPECT_STREQ(cost_kind_name(CostKind::kShootdown), "tlb_shootdown");
+}
+
+TEST(CostKind, Accumulate)
+{
+    CycleBreakdown a, b;
+    a.add(CostKind::kCompute, 10);
+    b.add(CostKind::kCompute, 5);
+    b.add(CostKind::kFault, 2);
+    a += b;
+    EXPECT_DOUBLE_EQ(a.get(CostKind::kCompute), 15.0);
+    EXPECT_DOUBLE_EQ(a.get(CostKind::kFault), 2.0);
+}
+
+}  // namespace
+}  // namespace vdom::hw

@@ -1,0 +1,82 @@
+/// \file
+/// Call-gate tests (§6.3, Fig. 4): pdom1 open/close, hijack detection.
+
+#include <gtest/gtest.h>
+
+#include "hw/machine.h"
+#include "vdom/callgate.h"
+
+namespace vdom {
+namespace {
+
+class CallGateTest : public ::testing::Test {
+  protected:
+    CallGateTest() : machine(hw::ArchParams::x86(1)), gate(1) {}
+
+    hw::Core &core() { return machine.core(0); }
+
+    hw::Machine machine;
+    CallGate gate;
+};
+
+TEST_F(CallGateTest, EnterOpensPdom1)
+{
+    EXPECT_FALSE(gate.inside(core()));
+    GateFrame frame = gate.enter(core());
+    EXPECT_TRUE(gate.inside(core()));
+    EXPECT_TRUE(frame.on_secure_stack);
+    EXPECT_EQ(core().perm_reg().get(1), hw::Perm::kFullAccess);
+}
+
+TEST_F(CallGateTest, ExitClosesPdom1AndPasses)
+{
+    GateFrame frame = gate.enter(core());
+    core().perm_reg().set(5, hw::Perm::kFullAccess);
+    std::uint32_t target = core().perm_reg().raw();
+    EXPECT_TRUE(gate.exit(core(), frame, target));
+    EXPECT_FALSE(gate.inside(core()));
+    EXPECT_FALSE(frame.on_secure_stack);
+    // The merged write preserved the target vdom permission.
+    EXPECT_EQ(core().perm_reg().get(5), hw::Perm::kFullAccess);
+    EXPECT_EQ(core().perm_reg().get(1), hw::Perm::kAccessDisable);
+}
+
+TEST_F(CallGateTest, HijackedEaxKeepingPdom1OpenIsIllegal)
+{
+    // Fig. 4 lines 29-31: control-flow hijacking that loads eax with
+    // pdom1 = full access must trip the check.
+    std::uint32_t hijacked = 0;  // All domains full access, incl. pdom1.
+    EXPECT_FALSE(gate.exit_value_legal(hijacked));
+    std::uint32_t wd_on_pdom1 = 0x2u << 2;  // Write-disable, still readable.
+    EXPECT_FALSE(gate.exit_value_legal(wd_on_pdom1));
+}
+
+TEST_F(CallGateTest, LegalExitValues)
+{
+    std::uint32_t ad_pdom1 = 0x3u << 2;
+    EXPECT_TRUE(gate.exit_value_legal(ad_pdom1));
+    EXPECT_TRUE(gate.exit_value_legal(ad_pdom1 | 0xFFFFFFF0u));
+}
+
+TEST_F(CallGateTest, ExitSanitizesTargetValue)
+{
+    // Even a target image that tries to keep pdom1 open is merged with
+    // access-disable before the write (lines 23-28), so the exit passes
+    // and pdom1 ends closed.
+    GateFrame frame = gate.enter(core());
+    std::uint32_t malicious_target = 0;  // pdom1 = FA.
+    EXPECT_TRUE(gate.exit(core(), frame, malicious_target));
+    EXPECT_EQ(core().perm_reg().get(1), hw::Perm::kAccessDisable);
+}
+
+TEST_F(CallGateTest, NestedPermissionsSurviveRoundTrip)
+{
+    core().perm_reg().set(7, hw::Perm::kWriteDisable);
+    GateFrame frame = gate.enter(core());
+    std::uint32_t target = frame.saved_pkru;
+    gate.exit(core(), frame, target);
+    EXPECT_EQ(core().perm_reg().get(7), hw::Perm::kWriteDisable);
+}
+
+}  // namespace
+}  // namespace vdom

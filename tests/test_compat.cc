@@ -1,0 +1,157 @@
+/// \file
+/// Compatibility sweep (§7.1): the paper runs LTP's mm/fs/ipc/sched suites
+/// on the modified kernel.  The analogue here: ordinary kernel operations
+/// (mmap/munmap/fault/fork-like task churn/context switches) behave
+/// identically whether or not the process uses VDom, and VDom state
+/// survives them.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common.h"
+#include "sim/engine.h"
+
+namespace vdom {
+namespace {
+
+using kernel::Task;
+using ::vdom::testing::World;
+
+class CompatTest : public ::testing::Test {
+  protected:
+    CompatTest() : world(World::x86(4)) {}
+
+    std::unique_ptr<World> world;
+};
+
+TEST_F(CompatTest, PlainProcessUnaffectedByVdomKernel)
+{
+    // A process that never calls vdom_init sees stock behaviour.
+    Task *task = world->spawn();
+    hw::Vpn region = world->proc.mm().mmap(64);
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_TRUE(world->proc.mm().fault_in(world->core(0),
+                                              *task->vds(), region + i));
+    }
+    world->proc.mm().munmap(world->core(0), region, 64);
+    EXPECT_EQ(world->proc.mm().vmas().find(region), nullptr);
+}
+
+TEST_F(CompatTest, MmapStressManyRegions)
+{
+    Task *task = world->spawn();
+    std::vector<hw::Vpn> regions;
+    for (int i = 0; i < 500; ++i)
+        regions.push_back(world->proc.mm().mmap(1 + (i % 7)));
+    for (hw::Vpn r : regions)
+        ASSERT_TRUE(
+            world->proc.mm().fault_in(world->core(0), *task->vds(), r));
+    // Unmap every other one; the rest still translate.
+    for (std::size_t i = 0; i < regions.size(); i += 2)
+        world->proc.mm().munmap(world->core(0), regions[i],
+                                1 + (i % 7));
+    for (std::size_t i = 1; i < regions.size(); i += 2) {
+        EXPECT_TRUE(world->proc.mm()
+                        .vds0()
+                        ->pgd()
+                        .translate(regions[i])
+                        .present)
+            << i;
+    }
+}
+
+TEST_F(CompatTest, MunmapOfProtectedMemoryCleansVdomState)
+{
+    Task *task = world->ready_thread();
+    auto [v, vpn] = world->make_domain(8);
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+    ASSERT_TRUE(world->sys.access(world->core(0), *task, vpn, true).ok);
+    world->proc.mm().munmap(world->core(0), vpn, 8);
+    EXPECT_TRUE(world->sys.access(world->core(0), *task, vpn, true).sigsegv);
+    EXPECT_TRUE(world->proc.mm().vdm().vdt().areas(v).empty());
+}
+
+TEST_F(CompatTest, TaskChurnLikeForkExit)
+{
+    // Create and retire many tasks (thread-pool style) while VDom is live.
+    world->sys.vdom_init(world->core(0));
+    auto [v, vpn] = world->make_domain(1);
+    for (int round = 0; round < 50; ++round) {
+        Task *t = world->spawn(round % 4);
+        world->sys.vdr_alloc(world->core(round % 4), *t, 2);
+        world->sys.wrvdr(world->core(round % 4), *t, v,
+                         VPerm::kFullAccess);
+        EXPECT_TRUE(world->sys
+                        .access(world->core(round % 4), *t, vpn, false)
+                        .ok);
+        world->sys.vdr_free(world->core(round % 4), *t);
+    }
+}
+
+TEST_F(CompatTest, SchedulerStyleMigrationAcrossCores)
+{
+    // One VDom thread hopped across every core keeps working: the ASID and
+    // permission register follow it.
+    Task *task = world->ready_thread();
+    auto [v, vpn] = world->make_domain(2);
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+    for (int hop = 0; hop < 12; ++hop) {
+        std::size_t c = hop % 4;
+        world->proc.switch_to(world->core(c), *task);
+        EXPECT_TRUE(world->sys.access(world->core(c), *task, vpn, true).ok)
+            << "hop " << hop;
+    }
+}
+
+TEST_F(CompatTest, MixedVdomAndPlainThreadsShareLayout)
+{
+    Task *vdomer = world->ready_thread();
+    Task *plain = world->spawn(1);
+    auto [v, vpn] = world->make_domain(1);
+    hw::Vpn shared = world->proc.mm().mmap(4);
+    // Both see the shared (unprotected) region.
+    EXPECT_TRUE(world->sys.access(world->core(0), *vdomer, shared, true).ok);
+    EXPECT_TRUE(world->sys.access(world->core(1), *plain, shared, true).ok);
+    // Only the VDom thread can open the protected one.
+    world->sys.wrvdr(world->core(0), *vdomer, v, VPerm::kFullAccess);
+    EXPECT_TRUE(world->sys.access(world->core(0), *vdomer, vpn, true).ok);
+    EXPECT_TRUE(world->sys.access(world->core(1), *plain, vpn, false)
+                    .sigsegv);
+}
+
+TEST_F(CompatTest, IpcStyleSharedMemoryAcrossVdses)
+{
+    // Threads in different VDSes share unprotected memory transparently
+    // (§5.3: "cross-thread synchronization and process-level memory
+    // operations are supported without any application modification").
+    Task *t1 = world->ready_thread(2, 0);
+    Task *t2 = world->spawn(1);
+    world->sys.vdr_alloc(world->core(1), *t2, 2);
+    // Push t2 into its own VDS by filling VDS0.
+    std::size_t usable = world->machine.params().usable_pdoms();
+    for (std::size_t i = 0; i < usable + 1; ++i) {
+        auto [v, vpn] = world->make_domain(1);
+        (void)vpn;
+        world->sys.wrvdr(world->core(1), *t2, v, VPerm::kFullAccess);
+    }
+    ASSERT_NE(t2->vds(), t1->vds());
+    hw::Vpn shm = world->proc.mm().mmap(2);
+    EXPECT_TRUE(world->sys.access(world->core(0), *t1, shm, true).ok);
+    EXPECT_TRUE(world->sys.access(world->core(1), *t2, shm, true).ok);
+    EXPECT_TRUE(world->sys.access(world->core(0), *t1, shm + 1, false).ok);
+}
+
+TEST_F(CompatTest, ArmWholeStack)
+{
+    auto arm = std::unique_ptr<World>(World::arm(2));
+    Task *task = arm->ready_thread();
+    auto [v, vpn] = arm->make_domain(4);
+    arm->sys.wrvdr(arm->core(0), *task, v, VPerm::kFullAccess);
+    EXPECT_TRUE(arm->sys.access(arm->core(0), *task, vpn + 3, true).ok);
+    arm->proc.mm().munmap(arm->core(0), vpn, 4);
+    EXPECT_TRUE(arm->sys.access(arm->core(0), *task, vpn, true).sigsegv);
+}
+
+}  // namespace
+}  // namespace vdom

@@ -1,0 +1,125 @@
+/// \file
+/// EPK baseline tests: EPT grouping, VMFUNC cost scaling, VM taxes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/epk.h"
+#include "common.h"
+
+namespace vdom::baselines {
+namespace {
+
+using kernel::Task;
+using ::vdom::testing::World;
+
+class EpkTest : public ::testing::Test {
+  protected:
+    EpkTest()
+        : world(World::x86(2)), epk(world->machine.params())
+    {
+    }
+
+    std::unique_ptr<World> world;
+    Epk epk;
+};
+
+TEST_F(EpkTest, KeysFillEptGroups)
+{
+    for (int i = 0; i < 15; ++i)
+        epk.key_alloc(world->core(0));
+    EXPECT_EQ(epk.num_epts(), 1u);
+    epk.key_alloc(world->core(0));
+    EXPECT_EQ(epk.num_epts(), 2u);
+    for (int i = 0; i < 50; ++i)
+        epk.key_alloc(world->core(0));
+    EXPECT_EQ(epk.num_epts(), 5u);  // 66 keys / 15 per EPT.
+}
+
+TEST_F(EpkTest, InEptSwitchIsMpkCost)
+{
+    Task *task = world->spawn();
+    int a = epk.key_alloc(world->core(0));
+    int b = epk.key_alloc(world->core(0));
+    hw::Cycles before = world->core(0).now();
+    epk.key_set(world->core(0), *task, a, VPerm::kFullAccess);
+    epk.key_set(world->core(0), *task, b, VPerm::kFullAccess);
+    hw::Cycles cost = (world->core(0).now() - before) / 2;
+    // §7.4: in-EPT switches cost ~97 cycles.
+    EXPECT_NEAR(cost, world->machine.params().costs.pkey_set, 10.0);
+    EXPECT_EQ(epk.stats().vmfunc_switches, 0u);
+}
+
+TEST_F(EpkTest, CrossEptSwitchPaysVmfunc)
+{
+    Task *task = world->spawn();
+    std::vector<int> keys;
+    for (int i = 0; i < 31; ++i)  // 3 EPTs.
+        keys.push_back(epk.key_alloc(world->core(0)));
+    hw::Cycles before = world->core(0).now();
+    epk.key_set(world->core(0), *task, keys[20], VPerm::kFullAccess);
+    hw::Cycles cost = world->core(0).now() - before;
+    // <=4 EPTs: 350-cycle VMFUNC inserted (§7.4) — the whole switch.
+    EXPECT_NEAR(cost, world->machine.params().costs.vmfunc_mid, 10.0);
+    EXPECT_EQ(epk.stats().vmfunc_switches, 1u);
+}
+
+TEST_F(EpkTest, ManyEptsSlowDownVmfunc)
+{
+    Task *task = world->spawn();
+    std::vector<int> keys;
+    for (int i = 0; i < 70; ++i)  // 5 EPTs.
+        keys.push_back(epk.key_alloc(world->core(0)));
+    EXPECT_EQ(epk.num_epts(), 5u);
+    hw::Cycles before = world->core(0).now();
+    epk.key_set(world->core(0), *task, keys[65], VPerm::kFullAccess);
+    hw::Cycles cost = world->core(0).now() - before;
+    // >=5 EPTs: the 830-cycle VMFUNC (§7.4, Table 4's 64/70-vdom columns).
+    EXPECT_NEAR(cost, world->machine.params().costs.vmfunc_many, 10.0);
+}
+
+TEST_F(EpkTest, SameEptSequenceAvoidsVmfunc)
+{
+    Task *task = world->spawn();
+    std::vector<int> keys;
+    for (int i = 0; i < 31; ++i)
+        keys.push_back(epk.key_alloc(world->core(0)));
+    epk.key_set(world->core(0), *task, keys[16], VPerm::kFullAccess);
+    std::uint64_t vmfuncs = epk.stats().vmfunc_switches;
+    // Staying inside EPT 1:
+    epk.key_set(world->core(0), *task, keys[17], VPerm::kFullAccess);
+    epk.key_set(world->core(0), *task, keys[18], VPerm::kFullAccess);
+    EXPECT_EQ(epk.stats().vmfunc_switches, vmfuncs);
+}
+
+TEST_F(EpkTest, PerThreadCurrentEpt)
+{
+    Task *t0 = world->spawn(0);
+    Task *t1 = world->spawn(1);
+    std::vector<int> keys;
+    for (int i = 0; i < 31; ++i)
+        keys.push_back(epk.key_alloc(world->core(0)));
+    epk.key_set(world->core(0), *t0, keys[20], VPerm::kFullAccess);
+    std::uint64_t vmfuncs = epk.stats().vmfunc_switches;
+    // A different thread still sits in EPT 0: it pays its own VMFUNC.
+    epk.key_set(world->core(1), *t1, keys[20], VPerm::kFullAccess);
+    EXPECT_EQ(epk.stats().vmfunc_switches, vmfuncs + 1);
+}
+
+TEST(VmModel, TaxesSplitIntoOverheadBucket)
+{
+    hw::Machine machine(hw::ArchParams::x86(1));
+    VmModel vm;
+    vm.charge_compute(machine.core(0), 1000);
+    vm.charge_io(machine.core(0), 1000);
+    const hw::CycleBreakdown &b = machine.core(0).breakdown();
+    EXPECT_DOUBLE_EQ(b.get(hw::CostKind::kCompute), 1000.0);
+    EXPECT_DOUBLE_EQ(b.get(hw::CostKind::kIo), 1000.0);
+    EXPECT_NEAR(b.get(hw::CostKind::kVmOverhead),
+                1000 * vm.compute_tax + 1000 * vm.io_tax, 0.01);
+    EXPECT_GT(vm.syscall_cycles(100), 100.0);
+}
+
+}  // namespace
+}  // namespace vdom::baselines

@@ -1,0 +1,136 @@
+/// \file
+/// Huge-page (2MB-mapping) paths through the full VDom stack: faulting,
+/// eviction, remap, and interaction with the §5.5 PMD machinery.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common.h"
+
+namespace vdom {
+namespace {
+
+using kernel::Task;
+using ::vdom::testing::World;
+
+class HugePageTest : public ::testing::Test {
+  protected:
+    HugePageTest() : world(World::x86(2)) {}
+
+    /// A 2MB vdom over a huge mapping.
+    std::pair<VdomId, hw::Vpn>
+    make_huge_domain()
+    {
+        hw::Core &core = world->core(0);
+        VdomId v = world->sys.vdom_alloc(core);
+        hw::Vpn vpn = world->proc.mm().mmap(512, /*huge=*/true);
+        world->sys.vdom_mprotect(core, vpn, 512, v);
+        return {v, vpn};
+    }
+
+    std::unique_ptr<World> world;
+};
+
+TEST_F(HugePageTest, FaultInMapsWholeSpanWithDomainTag)
+{
+    Task *task = world->ready_thread();
+    auto [v, vpn] = make_huge_domain();
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+    ASSERT_TRUE(world->sys.access(world->core(0), *task, vpn + 5, true).ok);
+    // One fault mapped the whole 2MB span, tagged with the vdom's pdom.
+    hw::Translation t = task->vds()->pgd().translate(vpn + 400);
+    ASSERT_TRUE(t.present);
+    EXPECT_TRUE(t.huge);
+    EXPECT_EQ(t.pdom, *task->vds()->pdom_of(v));
+}
+
+TEST_F(HugePageTest, EvictionIsOnePmdOp)
+{
+    Task *task = world->ready_thread(1);
+    auto [v, vpn] = make_huge_domain();
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+    world->sys.access(world->core(0), *task, vpn, true);
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kAccessDisable);
+    hw::PtOps ops =
+        world->proc.mm().evict_vdom_from_vds(world->core(0),
+                                             *task->vds(), v);
+    EXPECT_EQ(ops.pmd_writes, 1u);
+    EXPECT_EQ(ops.pte_writes, 0u);
+    EXPECT_TRUE(task->vds()->pgd().translate(vpn).pmd_disabled);
+}
+
+TEST_F(HugePageTest, EvictedHugeDomainFaultsBackIn)
+{
+    Task *task = world->ready_thread(1);
+    std::size_t usable = world->machine.params().usable_pdoms();
+    std::vector<std::pair<VdomId, hw::Vpn>> doms;
+    for (std::size_t i = 0; i < usable + 2; ++i) {
+        doms.push_back(make_huge_domain());
+        world->sys.wrvdr(world->core(0), *task, doms.back().first,
+                         VPerm::kFullAccess);
+        ASSERT_TRUE(world->sys
+                        .access(world->core(0), *task,
+                                doms.back().second + 100, true)
+                        .ok)
+            << i;
+        world->sys.wrvdr(world->core(0), *task, doms.back().first,
+                         VPerm::kAccessDisable);
+    }
+    // Some early domain was evicted (huge path); re-grant and access.
+    for (auto &[v, vpn] : doms) {
+        world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+        EXPECT_TRUE(
+            world->sys.access(world->core(0), *task, vpn + 300, true).ok);
+        world->sys.wrvdr(world->core(0), *task, v, VPerm::kAccessDisable);
+    }
+}
+
+TEST_F(HugePageTest, SecurityHoldsOnHugeSpans)
+{
+    Task *owner = world->ready_thread(2, 0);
+    Task *intruder = world->spawn(1);
+    world->sys.vdr_alloc(world->core(1), *intruder, 2);
+    auto [v, vpn] = make_huge_domain();
+    world->sys.wrvdr(world->core(0), *owner, v, VPerm::kFullAccess);
+    ASSERT_TRUE(world->sys.access(world->core(0), *owner, vpn, true).ok);
+    // Every page of the huge span is protected from the intruder.
+    for (hw::Vpn p : {vpn, vpn + 1, vpn + 255, vpn + 511}) {
+        EXPECT_TRUE(
+            world->sys.access(world->core(1), *intruder, p, false).sigsegv);
+    }
+}
+
+TEST_F(HugePageTest, MixedHugeAndSmallDomains)
+{
+    Task *task = world->ready_thread(1);
+    auto [huge_v, huge_vpn] = make_huge_domain();
+    auto [small_v, small_vpn] = world->make_domain(4);
+    world->sys.wrvdr(world->core(0), *task, huge_v, VPerm::kFullAccess);
+    world->sys.wrvdr(world->core(0), *task, small_v, VPerm::kFullAccess);
+    EXPECT_TRUE(
+        world->sys.access(world->core(0), *task, huge_vpn + 7, true).ok);
+    EXPECT_TRUE(
+        world->sys.access(world->core(0), *task, small_vpn + 3, true).ok);
+    // Revoking one leaves the other intact.
+    world->sys.wrvdr(world->core(0), *task, huge_v, VPerm::kAccessDisable);
+    EXPECT_TRUE(
+        world->sys.access(world->core(0), *task, huge_vpn, false).sigsegv);
+    EXPECT_TRUE(
+        world->sys.access(world->core(0), *task, small_vpn, true).ok);
+}
+
+TEST_F(HugePageTest, ReclaimDropsHugeSpan)
+{
+    Task *task = world->ready_thread();
+    auto [v, vpn] = make_huge_domain();
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+    ASSERT_TRUE(world->sys.access(world->core(0), *task, vpn, true).ok);
+    // Huge spans are not page-reclaimed piecemeal in this model; munmap
+    // removes them wholesale.
+    world->proc.mm().munmap(world->core(0), vpn, 512);
+    EXPECT_TRUE(world->sys.access(world->core(0), *task, vpn, true).sigsegv);
+}
+
+}  // namespace
+}  // namespace vdom

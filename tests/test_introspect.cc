@@ -1,0 +1,95 @@
+/// \file
+/// Introspection tests: summary metrics and state dumps.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "common.h"
+#include "vdom/introspect.h"
+
+namespace vdom {
+namespace {
+
+using kernel::Task;
+using ::vdom::testing::World;
+
+TEST(Introspect, SummaryOfFreshProcess)
+{
+    auto world = std::unique_ptr<World>(World::x86(2));
+    world->sys.vdom_init(world->core(0));
+    IntrospectSummary s = summarize(world->sys);
+    EXPECT_EQ(s.vdses, 1u);
+    EXPECT_EQ(s.live_vdoms, 2u);  // vdom0 + the API vdom.
+    EXPECT_EQ(s.mapped_slots, 0u);  // No protected vdoms mapped yet.
+    EXPECT_EQ(s.free_slots, world->machine.params().usable_pdoms());
+    // The pdom1-protected API region counts as protected pages.
+    EXPECT_EQ(s.protected_pages, world->sys.api_region_pages());
+}
+
+TEST(Introspect, TracksGrowth)
+{
+    auto world = std::unique_ptr<World>(World::x86(2));
+    Task *task = world->ready_thread(4);
+    std::size_t usable = world->machine.params().usable_pdoms();
+    for (std::size_t i = 0; i < usable + 3; ++i) {
+        auto [v, vpn] = world->make_domain(2);
+        (void)vpn;
+        world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+        world->sys.wrvdr(world->core(0), *task, v, VPerm::kAccessDisable);
+    }
+    IntrospectSummary s = summarize(world->sys);
+    EXPECT_GE(s.vdses, 2u);
+    EXPECT_EQ(s.live_vdoms, usable + 3 + 2);
+    EXPECT_EQ(s.protected_pages,
+              2 * (usable + 3) + world->sys.api_region_pages());
+    EXPECT_GE(s.mapped_slots, usable);
+    EXPECT_EQ(s.resident_threads, 1u);
+    EXPECT_GE(s.vdt_leaves, 1u);
+}
+
+TEST(Introspect, DomainMapFormat)
+{
+    auto world = std::unique_ptr<World>(World::x86(2));
+    Task *task = world->ready_thread();
+    auto [v, vpn] = world->make_domain(1);
+    (void)vpn;
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+    std::string map = format_domain_map(*task->vds(),
+                                        world->machine.params());
+    EXPECT_NE(map.find("VDS0"), std::string::npos);
+    EXPECT_NE(map.find("0 (common)"), std::string::npos);
+    EXPECT_NE(map.find("(access-never)"), std::string::npos);
+    EXPECT_NE(map.find(std::to_string(v)), std::string::npos);
+}
+
+TEST(Introspect, FullDump)
+{
+    auto world = std::unique_ptr<World>(World::x86(2));
+    Task *task = world->ready_thread(2);
+    auto [v, vpn] = world->make_domain(1);
+    (void)vpn;
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kWriteDisable);
+    std::ostringstream out;
+    dump_state(world->sys, out);
+    std::string text = out.str();
+    EXPECT_NE(text.find("VDom process state"), std::string::npos);
+    EXPECT_NE(text.find("algorithm counters"), std::string::npos);
+    EXPECT_NE(text.find(":WD"), std::string::npos);
+    EXPECT_NE(text.find("tid " + std::to_string(task->tid())),
+              std::string::npos);
+}
+
+TEST(Introspect, ArmReservedSlotsShown)
+{
+    auto world = std::unique_ptr<World>(World::arm(2));
+    world->sys.vdom_init(world->core(0));
+    std::string map = format_domain_map(*world->proc.mm().vds0(),
+                                        world->machine.params());
+    // ARM reserves pdom2/3 for kernel/IO domains.
+    EXPECT_NE(map.find("(reserved)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vdom

@@ -1,0 +1,128 @@
+/// \file
+/// Kard-style data-race detector tests.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/kard.h"
+#include "common.h"
+#include "sim/rng.h"
+
+namespace vdom::apps {
+namespace {
+
+using kernel::Task;
+using ::vdom::testing::World;
+
+class KardTest : public ::testing::Test {
+  protected:
+    KardTest() : world(World::x86(4)), kard(world->sys)
+    {
+        world->sys.vdom_init(world->core(0));
+        t1 = world->spawn(0);
+        t2 = world->spawn(1);
+        kard.thread_init(world->core(0), *t1);
+        kard.thread_init(world->core(1), *t2);
+        data = world->proc.mm().mmap(2);
+        obj = kard.register_object(world->core(0), data, 2);
+    }
+
+    std::unique_ptr<World> world;
+    KardDetector kard;
+    Task *t1 = nullptr;
+    Task *t2 = nullptr;
+    hw::Vpn data = 0;
+    int obj = -1;
+};
+
+TEST_F(KardTest, DisciplinedLockingIsRaceFree)
+{
+    for (int round = 0; round < 20; ++round) {
+        Task *task = round % 2 ? t2 : t1;
+        hw::Core &core = world->core(round % 2);
+        kard.acquire(core, *task, obj);
+        EXPECT_TRUE(kard.access(core, *task, obj, data, true));
+        EXPECT_TRUE(kard.access(core, *task, obj, data + 1, false));
+        kard.release(core, *task, obj);
+    }
+    EXPECT_TRUE(kard.races().empty());
+}
+
+TEST_F(KardTest, UnsynchronizedAccessIsCaught)
+{
+    kard.acquire(world->core(0), *t1, obj);
+    // t2 touches the object without taking the lock: a race, caught and
+    // denied.
+    EXPECT_FALSE(kard.access(world->core(1), *t2, obj, data, true));
+    ASSERT_EQ(kard.races().size(), 1u);
+    EXPECT_EQ(kard.races()[0].tid, t2->tid());
+    EXPECT_EQ(kard.races()[0].object, obj);
+    EXPECT_TRUE(kard.races()[0].write);
+    // The owner is unaffected.
+    EXPECT_TRUE(kard.access(world->core(0), *t1, obj, data, true));
+}
+
+TEST_F(KardTest, StaleOwnerLosesAccessAtTransfer)
+{
+    kard.acquire(world->core(0), *t1, obj);
+    ASSERT_TRUE(kard.access(world->core(0), *t1, obj, data, true));
+    kard.release(world->core(0), *t1, obj);
+    // Ownership transfers to t2...
+    kard.acquire(world->core(1), *t2, obj);
+    // ...and t1's lingering access (use-after-unlock bug) is now a race.
+    EXPECT_FALSE(kard.access(world->core(0), *t1, obj, data, false));
+    EXPECT_EQ(kard.races().size(), 1u);
+}
+
+TEST_F(KardTest, LazyReleaseKeepsReacquireCheap)
+{
+    kard.acquire(world->core(0), *t1, obj);
+    kard.release(world->core(0), *t1, obj);  // Lazy: view stays open.
+    // Re-acquire by the SAME thread: permission already held.
+    hw::Cycles t0 = world->core(0).now();
+    kard.acquire(world->core(0), *t1, obj);
+    hw::Cycles reacquire = world->core(0).now() - t0;
+    EXPECT_LT(reacquire, 150.0);  // Just the wrvdr, no revocation leg.
+    // Strict release revokes immediately.
+    kard.release(world->core(0), *t1, obj, /*strict=*/true);
+    EXPECT_FALSE(kard.access(world->core(0), *t1, obj, data, false));
+}
+
+TEST_F(KardTest, ManyWatchedObjectsBeyondHardwareLimit)
+{
+    // Kard on raw MPK stops at 14 concurrently watched objects; on VDom
+    // the supply is unlimited.
+    sim::Rng rng(5);
+    std::vector<std::pair<int, hw::Vpn>> objs;
+    for (int i = 0; i < 60; ++i) {
+        hw::Vpn vpn = world->proc.mm().mmap(1);
+        objs.emplace_back(kard.register_object(world->core(0), vpn, 1),
+                          vpn);
+    }
+    for (int op = 0; op < 300; ++op) {
+        auto &[o, vpn] = objs[rng.below(objs.size())];
+        Task *task = op % 2 ? t2 : t1;
+        hw::Core &core = world->core(op % 2);
+        kard.acquire(core, *task, o);
+        EXPECT_TRUE(kard.access(core, *task, o, vpn, true)) << op;
+    }
+    EXPECT_TRUE(kard.races().empty());
+    EXPECT_EQ(kard.watched_objects(), 61u);
+}
+
+TEST_F(KardTest, RacyWorkloadReportsEveryOffense)
+{
+    // t1 follows the locking discipline; t2 skips the lock 10 times.
+    for (int i = 0; i < 10; ++i) {
+        kard.acquire(world->core(0), *t1, obj);
+        ASSERT_TRUE(kard.access(world->core(0), *t1, obj, data, true));
+        EXPECT_FALSE(kard.access(world->core(1), *t2, obj, data, true));
+    }
+    EXPECT_EQ(kard.races().size(), 10u);
+    for (const RaceReport &race : kard.races())
+        EXPECT_EQ(race.tid, t2->tid());
+}
+
+}  // namespace
+}  // namespace vdom::apps

@@ -1,0 +1,246 @@
+/// \file
+/// MmStruct tests: layout, vdom assignment, demand paging, eviction ops.
+
+#include <gtest/gtest.h>
+
+#include "hw/machine.h"
+#include "kernel/mm.h"
+
+namespace vdom::kernel {
+namespace {
+
+class MmTest : public ::testing::Test {
+  protected:
+    MmTest()
+        : params(hw::ArchParams::x86(2)),
+          machine(params),
+          shootdown(machine),
+          mm(params, &shootdown)
+    {
+        core().set_pgd(&mm.vds0()->pgd(), 1);
+    }
+
+    hw::Core &core() { return machine.core(0); }
+
+    hw::ArchParams params;
+    hw::Machine machine;
+    ShootdownManager shootdown;
+    MmStruct mm;
+};
+
+TEST_F(MmTest, MmapDisjointRegions)
+{
+    hw::Vpn a = mm.mmap(10);
+    hw::Vpn b = mm.mmap(10);
+    EXPECT_GE(b, a + 10);
+    EXPECT_NE(mm.vmas().find(a), nullptr);
+    EXPECT_NE(mm.vmas().find(b + 9), nullptr);
+    EXPECT_EQ(mm.vmas().find(a + 10), nullptr);  // Guard gap.
+}
+
+TEST_F(MmTest, LargeMmapIsPmdAligned)
+{
+    hw::Vpn big = mm.mmap(512);
+    EXPECT_EQ(big % params.pmd_span_pages, 0u);
+    hw::Vpn huge = mm.mmap(512, true);
+    EXPECT_EQ(huge % params.pmd_span_pages, 0u);
+}
+
+TEST_F(MmTest, AssignVdomAndVdt)
+{
+    VdomId v = mm.vdm().alloc(false);
+    hw::Vpn region = mm.mmap(8);
+    EXPECT_EQ(mm.assign_vdom(core(), region, 8, v), VdomStatus::kOk);
+    EXPECT_EQ(mm.vdom_of(region + 3), v);
+    EXPECT_EQ(mm.vdm().vdt().protected_pages(v), 8u);
+}
+
+TEST_F(MmTest, AssignSplitsVma)
+{
+    VdomId v = mm.vdm().alloc(false);
+    hw::Vpn region = mm.mmap(10);
+    ASSERT_EQ(mm.assign_vdom(core(), region + 3, 4, v), VdomStatus::kOk);
+    EXPECT_EQ(mm.vdom_of(region), kCommonVdom);
+    EXPECT_EQ(mm.vdom_of(region + 3), v);
+    EXPECT_EQ(mm.vdom_of(region + 6), v);
+    EXPECT_EQ(mm.vdom_of(region + 7), kCommonVdom);
+}
+
+TEST_F(MmTest, AddressSpaceIntegrity)
+{
+    // §7.2: a region given one vdom can never be reassigned to another.
+    VdomId a = mm.vdm().alloc(false);
+    VdomId b = mm.vdm().alloc(false);
+    hw::Vpn region = mm.mmap(4);
+    ASSERT_EQ(mm.assign_vdom(core(), region, 4, a), VdomStatus::kOk);
+    EXPECT_EQ(mm.assign_vdom(core(), region, 4, b),
+              VdomStatus::kAlreadyAssigned);
+    EXPECT_EQ(mm.assign_vdom(core(), region + 1, 2, b),
+              VdomStatus::kAlreadyAssigned);
+    // Re-assigning the same vdom is idempotent.
+    EXPECT_EQ(mm.assign_vdom(core(), region, 4, a), VdomStatus::kOk);
+}
+
+TEST_F(MmTest, AssignRejectsBadInput)
+{
+    EXPECT_EQ(mm.assign_vdom(core(), 0xdead000, 4, 99),
+              VdomStatus::kInvalidVdom);
+    VdomId v = mm.vdm().alloc(false);
+    EXPECT_EQ(mm.assign_vdom(core(), 0xdead000, 4, v),
+              VdomStatus::kInvalidRange);
+    EXPECT_EQ(mm.assign_vdom(core(), 0, 0, v), VdomStatus::kInvalidRange);
+}
+
+TEST_F(MmTest, FaultInPopulatesShadowAndVds)
+{
+    hw::Vpn region = mm.mmap(2);
+    EXPECT_TRUE(mm.fault_in(core(), *mm.vds0(), region));
+    EXPECT_TRUE(mm.shadow().translate(region).present);
+    hw::Translation t = mm.vds0()->pgd().translate(region);
+    ASSERT_TRUE(t.present);
+    EXPECT_EQ(t.pdom, params.default_pdom);
+}
+
+TEST_F(MmTest, FaultInUnknownAddressFails)
+{
+    EXPECT_FALSE(mm.fault_in(core(), *mm.vds0(), 0xdead000));
+}
+
+TEST_F(MmTest, FaultInProtectedPageUnmappedVdomGetsAccessNever)
+{
+    VdomId v = mm.vdm().alloc(false);
+    hw::Vpn region = mm.mmap(2);
+    mm.assign_vdom(core(), region, 2, v);
+    mm.fault_in(core(), *mm.vds0(), region);
+    hw::Translation t = mm.vds0()->pgd().translate(region);
+    ASSERT_TRUE(t.present);
+    EXPECT_EQ(t.pdom, params.access_never_pdom);
+}
+
+TEST_F(MmTest, FaultInProtectedPageMappedVdomGetsItsPdom)
+{
+    VdomId v = mm.vdm().alloc(false);
+    hw::Vpn region = mm.mmap(2);
+    mm.assign_vdom(core(), region, 2, v);
+    mm.vds0()->map_vdom(6, v);
+    mm.fault_in(core(), *mm.vds0(), region);
+    EXPECT_EQ(mm.vds0()->pgd().translate(region).pdom, 6);
+}
+
+TEST_F(MmTest, CrossVdsDemandPagingChargesMemsync)
+{
+    hw::Vpn region = mm.mmap(1);
+    mm.fault_in(core(), *mm.vds0(), region);
+    Vds *other = mm.create_vds();
+    hw::Cycles before = core().breakdown().get(hw::CostKind::kMemSync);
+    mm.fault_in(core(), *other, region);
+    EXPECT_GT(core().breakdown().get(hw::CostKind::kMemSync), before);
+    EXPECT_TRUE(other->pgd().translate(region).present);
+}
+
+TEST_F(MmTest, FaultInIdempotent)
+{
+    hw::Vpn region = mm.mmap(1);
+    mm.fault_in(core(), *mm.vds0(), region);
+    hw::Cycles before = core().now();
+    EXPECT_TRUE(mm.fault_in(core(), *mm.vds0(), region));
+    EXPECT_EQ(core().now(), before);  // Early-out: no charge.
+}
+
+TEST_F(MmTest, InstallVdomMapsPresentPages)
+{
+    VdomId v = mm.vdm().alloc(false);
+    hw::Vpn region = mm.mmap(4);
+    mm.assign_vdom(core(), region, 4, v);
+    for (int i = 0; i < 4; ++i)
+        mm.fault_in(core(), *mm.vds0(), region + i);
+    Vds *other = mm.create_vds();
+    other->map_vdom(5, v);
+    hw::PtOps ops = mm.install_vdom_in_vds(core(), *other, v, 5,
+                                           hw::CostKind::kMigration);
+    EXPECT_EQ(ops.pte_writes, 4u);
+    EXPECT_EQ(other->pgd().translate(region + 2).pdom, 5);
+}
+
+TEST_F(MmTest, EvictUsesPmdFastPathFor2MbVdom)
+{
+    VdomId v = mm.vdm().alloc(false);
+    hw::Vpn region = mm.mmap(512);
+    mm.assign_vdom(core(), region, 512, v);
+    mm.vds0()->map_vdom(6, v);
+    for (int i = 0; i < 512; ++i)
+        mm.fault_in(core(), *mm.vds0(), region + i);
+    hw::PtOps ops = mm.evict_vdom_from_vds(core(), *mm.vds0(), v);
+    EXPECT_EQ(ops.pmd_writes, 1u);
+    EXPECT_EQ(ops.pte_writes, 0u);
+    EXPECT_TRUE(mm.vds0()->pgd().translate(region).pmd_disabled);
+}
+
+TEST_F(MmTest, EvictSmallVdomRetagsPerPte)
+{
+    VdomId v = mm.vdm().alloc(false);
+    hw::Vpn region = mm.mmap(2);
+    mm.assign_vdom(core(), region, 2, v);
+    mm.vds0()->map_vdom(6, v);
+    mm.fault_in(core(), *mm.vds0(), region);
+    mm.fault_in(core(), *mm.vds0(), region + 1);
+    hw::PtOps ops = mm.evict_vdom_from_vds(core(), *mm.vds0(), v);
+    EXPECT_EQ(ops.pte_writes, 2u);
+    EXPECT_EQ(mm.vds0()->pgd().translate(region).pdom,
+              params.access_never_pdom);
+}
+
+TEST_F(MmTest, EvictBumpsTlbGeneration)
+{
+    VdomId v = mm.vdm().alloc(false);
+    hw::Vpn region = mm.mmap(1);
+    mm.assign_vdom(core(), region, 1, v);
+    std::uint64_t gen = mm.vds0()->tlb_gen();
+    mm.evict_vdom_from_vds(core(), *mm.vds0(), v);
+    EXPECT_GT(mm.vds0()->tlb_gen(), gen);
+}
+
+TEST_F(MmTest, MunmapRemovesEverywhere)
+{
+    VdomId v = mm.vdm().alloc(false);
+    hw::Vpn region = mm.mmap(4);
+    mm.assign_vdom(core(), region, 4, v);
+    mm.fault_in(core(), *mm.vds0(), region);
+    Vds *other = mm.create_vds();
+    mm.fault_in(core(), *other, region);
+    mm.munmap(core(), region, 4);
+    EXPECT_EQ(mm.vmas().find(region), nullptr);
+    EXPECT_FALSE(mm.shadow().translate(region).present);
+    EXPECT_FALSE(mm.vds0()->pgd().translate(region).present);
+    EXPECT_FALSE(other->pgd().translate(region).present);
+    EXPECT_TRUE(mm.vdm().vdt().areas(v).empty());
+}
+
+TEST_F(MmTest, MunmapPartial)
+{
+    hw::Vpn region = mm.mmap(10);
+    mm.munmap(core(), region + 2, 3);
+    EXPECT_NE(mm.vmas().find(region), nullptr);
+    EXPECT_EQ(mm.vmas().find(region + 3), nullptr);
+    EXPECT_NE(mm.vmas().find(region + 6), nullptr);
+}
+
+TEST_F(MmTest, HugeFaultInMapsWholePmd)
+{
+    hw::Vpn region = mm.mmap(512, true);
+    mm.fault_in(core(), *mm.vds0(), region + 5);
+    hw::Translation t = mm.vds0()->pgd().translate(region + 100);
+    ASSERT_TRUE(t.present);
+    EXPECT_TRUE(t.huge);
+}
+
+TEST_F(MmTest, UnionCpuBitmap)
+{
+    mm.vds0()->cpu_set(0);
+    Vds *other = mm.create_vds();
+    other->cpu_set(1);
+    EXPECT_EQ(mm.union_cpu_bitmap(), 3u);
+}
+
+}  // namespace
+}  // namespace vdom::kernel

@@ -1,0 +1,225 @@
+/// \file
+/// Page-table model tests: domain tagging, PMD fast paths, PROT_NONE.
+
+#include <gtest/gtest.h>
+
+#include "hw/page_table.h"
+
+namespace vdom::hw {
+namespace {
+
+constexpr std::size_t kSpan = 512;
+
+TEST(PageTable, MapAndTranslate)
+{
+    PageTable pt(kSpan);
+    EXPECT_FALSE(pt.translate(100).present);
+    PtOps ops = pt.map_page(100, 3);
+    EXPECT_EQ(ops.pte_writes, 1u);
+    Translation t = pt.translate(100);
+    ASSERT_TRUE(t.present);
+    EXPECT_EQ(t.pdom, 3);
+    EXPECT_FALSE(t.huge);
+}
+
+TEST(PageTable, UnmapPage)
+{
+    PageTable pt(kSpan);
+    pt.map_page(7, 2);
+    PtOps ops = pt.unmap_page(7);
+    EXPECT_EQ(ops.pte_writes, 1u);
+    EXPECT_FALSE(pt.translate(7).present);
+    // Unmapping an absent page is a no-op.
+    EXPECT_EQ(pt.unmap_page(7).pte_writes, 0u);
+}
+
+TEST(PageTable, HugeMapping)
+{
+    PageTable pt(kSpan);
+    PtOps ops = pt.map_huge(0, 5);
+    EXPECT_EQ(ops.pmd_writes, 1u);
+    EXPECT_EQ(ops.pte_writes, 0u);
+    Translation t = pt.translate(17);
+    ASSERT_TRUE(t.present);
+    EXPECT_TRUE(t.huge);
+    EXPECT_EQ(t.pdom, 5);
+    EXPECT_EQ(pt.present_pages(), kSpan);
+}
+
+TEST(PageTable, RetagRangePerPte)
+{
+    PageTable pt(kSpan);
+    for (Vpn v = 0; v < 10; ++v)
+        pt.map_page(v, 2);
+    PtOps ops = pt.set_pdom_range(0, 10, 4, false);
+    EXPECT_EQ(ops.pte_writes, 10u);
+    EXPECT_EQ(pt.translate(9).pdom, 4);
+}
+
+TEST(PageTable, RetagSkipsAbsentPages)
+{
+    PageTable pt(kSpan);
+    pt.map_page(0, 2);
+    pt.map_page(5, 2);
+    PtOps ops = pt.set_pdom_range(0, 10, 4, false);
+    EXPECT_EQ(ops.pte_writes, 2u);
+}
+
+TEST(PageTable, PmdDisableFastPath)
+{
+    PageTable pt(kSpan);
+    // A full uniform span: eviction disables one PMD, not 512 PTEs (§5.5).
+    for (Vpn v = 0; v < kSpan; ++v)
+        pt.map_page(v, 6);
+    PtOps ops = pt.disable_range(0, kSpan, 1, true);
+    EXPECT_EQ(ops.pmd_writes, 1u);
+    EXPECT_EQ(ops.pte_writes, 0u);
+    Translation t = pt.translate(42);
+    EXPECT_FALSE(t.present);
+    EXPECT_TRUE(t.pmd_disabled);
+}
+
+TEST(PageTable, PmdFastPathNeedsFullUniformSpan)
+{
+    PageTable pt(kSpan);
+    for (Vpn v = 0; v < kSpan; ++v)
+        pt.map_page(v, v < 10 ? 7 : 6);  // Mixed pdoms: not uniform.
+    PtOps ops = pt.disable_range(0, kSpan, 1, true);
+    EXPECT_EQ(ops.pmd_writes, 0u);
+    EXPECT_EQ(ops.pte_writes, kSpan);
+    // PTE-level eviction retags with the access-never pdom.
+    Translation t = pt.translate(0);
+    ASSERT_TRUE(t.present);
+    EXPECT_EQ(t.pdom, 1);
+}
+
+TEST(PageTable, HlruRemapToSamePdomIsOnePmdWrite)
+{
+    PageTable pt(kSpan);
+    for (Vpn v = 0; v < kSpan; ++v)
+        pt.map_page(v, 6);
+    pt.disable_range(0, kSpan, 1, true);
+    // Remap to the SAME pdom: one PMD write restores everything (§5.5).
+    PtOps ops = pt.set_pdom_range(0, kSpan, 6, true);
+    EXPECT_EQ(ops.pmd_writes, 1u);
+    EXPECT_EQ(ops.pte_writes, 0u);
+    EXPECT_EQ(pt.translate(100).pdom, 6);
+}
+
+TEST(PageTable, RemapToDifferentPdomPaysPerPte)
+{
+    PageTable pt(kSpan);
+    for (Vpn v = 0; v < kSpan; ++v)
+        pt.map_page(v, 6);
+    pt.disable_range(0, kSpan, 1, true);
+    PtOps ops = pt.set_pdom_range(0, kSpan, 9, true);
+    EXPECT_EQ(ops.pmd_writes, 1u);
+    EXPECT_EQ(ops.pte_writes, kSpan);
+    EXPECT_EQ(pt.translate(100).pdom, 9);
+}
+
+TEST(PageTable, HugeDisableAndRestore)
+{
+    PageTable pt(kSpan);
+    pt.map_huge(0, 4);
+    PtOps disable = pt.disable_range(0, kSpan, 1, true);
+    EXPECT_EQ(disable.pmd_writes, 1u);
+    EXPECT_TRUE(pt.translate(3).pmd_disabled);
+    PtOps restore = pt.set_pdom_range(0, kSpan, 8, true);
+    EXPECT_EQ(restore.pmd_writes, 1u);
+    Translation t = pt.translate(3);
+    ASSERT_TRUE(t.present);
+    EXPECT_TRUE(t.huge);
+    EXPECT_EQ(t.pdom, 8);
+}
+
+TEST(PageTable, MapPageIntoDisabledSpanNeutralizesSiblings)
+{
+    PageTable pt(kSpan, /*access_never=*/1);
+    for (Vpn v = 0; v < kSpan; ++v)
+        pt.map_page(v, 6);
+    pt.disable_range(0, kSpan, 1, true);
+    // Re-enabling one page must not resurrect the whole evicted span with
+    // its old tags.
+    pt.map_page(0, 9);
+    EXPECT_EQ(pt.translate(0).pdom, 9);
+    Translation sibling = pt.translate(1);
+    ASSERT_TRUE(sibling.present);
+    EXPECT_EQ(sibling.pdom, 1);  // access-never, not the stale pdom 6.
+}
+
+TEST(PageTable, ProtNoneRoundTrip)
+{
+    PageTable pt(kSpan);
+    for (Vpn v = 0; v < 8; ++v)
+        pt.map_page(v, 3);
+    PtOps none = pt.protect_none_range(0, 8);
+    EXPECT_EQ(none.pte_writes, 8u);
+    Translation t = pt.translate(2);
+    EXPECT_FALSE(t.present);
+    EXPECT_TRUE(t.prot_none);
+    // Restore via retag (the libmpk swap-in path).
+    PtOps restore = pt.set_pdom_range(0, 8, 5, false);
+    EXPECT_EQ(restore.pte_writes, 8u);
+    t = pt.translate(2);
+    ASSERT_TRUE(t.present);
+    EXPECT_EQ(t.pdom, 5);
+}
+
+TEST(PageTable, ProtNoneOnHugeUsesOnePmdWrite)
+{
+    PageTable pt(kSpan);
+    pt.map_huge(0, 3);
+    PtOps none = pt.protect_none_range(0, kSpan);
+    EXPECT_EQ(none.pmd_writes, 1u);
+    EXPECT_EQ(none.pte_writes, 0u);
+    EXPECT_FALSE(pt.translate(10).present);
+}
+
+TEST(PageTable, ProtNoneIdempotent)
+{
+    PageTable pt(kSpan);
+    pt.map_page(0, 3);
+    pt.protect_none_range(0, 1);
+    PtOps again = pt.protect_none_range(0, 1);
+    EXPECT_EQ(again.pte_writes, 0u);
+}
+
+TEST(PageTable, PresentPagesCount)
+{
+    PageTable pt(kSpan);
+    for (Vpn v = 0; v < 20; ++v)
+        pt.map_page(v, 2);
+    EXPECT_EQ(pt.present_pages(), 20u);
+    pt.unmap_page(0);
+    EXPECT_EQ(pt.present_pages(), 19u);
+}
+
+TEST(PageTable, MultiPmdRange)
+{
+    PageTable pt(kSpan);
+    // 64MB worth: 32 spans (Table 3's big-eviction case).
+    constexpr std::uint64_t kPages = 32 * kSpan;
+    for (Vpn v = 0; v < kPages; ++v)
+        pt.map_page(v, 6);
+    PtOps disable = pt.disable_range(0, kPages, 1, true);
+    EXPECT_EQ(disable.pmd_writes, 32u);
+    EXPECT_EQ(disable.pte_writes, 0u);
+    PtOps restore = pt.set_pdom_range(0, kPages, 6, true);
+    EXPECT_EQ(restore.pmd_writes, 32u);
+    EXPECT_EQ(restore.pte_writes, 0u);
+}
+
+TEST(PageTable, UnalignedRangeFallsBackToPtes)
+{
+    PageTable pt(kSpan);
+    for (Vpn v = 10; v < 10 + kSpan; ++v)
+        pt.map_page(v, 6);
+    // Covers 512 pages but straddles two PMDs: no span is fully covered.
+    PtOps disable = pt.disable_range(10, kSpan, 1, true);
+    EXPECT_EQ(disable.pmd_writes, 0u);
+    EXPECT_EQ(disable.pte_writes, kSpan);
+}
+
+}  // namespace
+}  // namespace vdom::hw

@@ -1,0 +1,73 @@
+/// \file
+/// Permission-register tests: 2-bit encoding, raw PKRU images.
+
+#include <gtest/gtest.h>
+
+#include "hw/perm_register.h"
+
+namespace vdom::hw {
+namespace {
+
+TEST(PermRegister, DefaultState)
+{
+    PermRegister reg;
+    EXPECT_EQ(reg.get(0), Perm::kFullAccess);
+    for (std::uint8_t p = 1; p < PermRegister::kSlots; ++p)
+        EXPECT_EQ(reg.get(p), Perm::kAccessDisable) << int(p);
+}
+
+TEST(PermRegister, SetGet)
+{
+    PermRegister reg;
+    reg.set(5, Perm::kWriteDisable);
+    EXPECT_EQ(reg.get(5), Perm::kWriteDisable);
+    reg.set(5, Perm::kFullAccess);
+    EXPECT_EQ(reg.get(5), Perm::kFullAccess);
+}
+
+TEST(PermRegister, RawRoundTrip)
+{
+    PermRegister reg;
+    reg.set(3, Perm::kWriteDisable);
+    reg.set(7, Perm::kFullAccess);
+    std::uint32_t raw = reg.raw();
+    PermRegister other;
+    other.load_raw(raw);
+    EXPECT_EQ(other, reg);
+}
+
+TEST(PermRegister, RawEncodingMatchesPkruLayout)
+{
+    PermRegister reg;
+    reg.load_raw(0);  // All slots full access.
+    for (std::uint8_t p = 0; p < PermRegister::kSlots; ++p)
+        EXPECT_EQ(reg.get(p), Perm::kFullAccess);
+    // pdom1 access-disable = bits [3:2] == 0b11 -> 0xC.
+    reg.reset();
+    reg.set(1, Perm::kAccessDisable);
+    EXPECT_EQ(reg.raw() & 0xCu, 0xCu);
+}
+
+TEST(PermRegister, PermPredicates)
+{
+    EXPECT_TRUE(perm_allows_read(Perm::kFullAccess));
+    EXPECT_TRUE(perm_allows_read(Perm::kWriteDisable));
+    EXPECT_FALSE(perm_allows_read(Perm::kAccessDisable));
+    EXPECT_TRUE(perm_allows_write(Perm::kFullAccess));
+    EXPECT_FALSE(perm_allows_write(Perm::kWriteDisable));
+    EXPECT_FALSE(perm_allows_write(Perm::kAccessDisable));
+}
+
+TEST(PermRegister, ResetRestoresSafeState)
+{
+    PermRegister reg;
+    for (std::uint8_t p = 0; p < PermRegister::kSlots; ++p)
+        reg.set(p, Perm::kFullAccess);
+    reg.reset();
+    EXPECT_EQ(reg.get(0), Perm::kFullAccess);
+    EXPECT_EQ(reg.get(1), Perm::kAccessDisable);
+    EXPECT_EQ(reg.get(15), Perm::kAccessDisable);
+}
+
+}  // namespace
+}  // namespace vdom::hw

@@ -1,0 +1,107 @@
+/// \file
+/// kswapd-style reclaim tests (§6.2: reclaim is an eager-sync trigger).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common.h"
+
+namespace vdom::kernel {
+namespace {
+
+using ::vdom::testing::World;
+
+class ReclaimTest : public ::testing::Test {
+  protected:
+    ReclaimTest() : world(World::x86(2)) {}
+
+    std::unique_ptr<World> world;
+};
+
+TEST_F(ReclaimTest, ReclaimedPagesLeaveAllTables)
+{
+    Task *task = world->ready_thread();
+    hw::Vpn region = world->proc.mm().mmap(8);
+    for (int i = 0; i < 8; ++i)
+        world->proc.mm().fault_in(world->core(0), *task->vds(), region + i);
+    std::uint64_t n =
+        world->proc.mm().reclaim_range(world->core(0), region, 8);
+    EXPECT_EQ(n, 8u);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_FALSE(
+            world->proc.mm().shadow().translate(region + i).present);
+        EXPECT_FALSE(
+            task->vds()->pgd().translate(region + i).present);
+    }
+    // The VMA survives: the data faults back in on demand.
+    EXPECT_TRUE(world->sys.access(world->core(0), *task, region, true).ok);
+}
+
+TEST_F(ReclaimTest, ReclaimOfAbsentPagesIsFree)
+{
+    hw::Vpn region = world->proc.mm().mmap(4);
+    hw::Cycles before = world->core(0).now();
+    EXPECT_EQ(world->proc.mm().reclaim_range(world->core(0), region, 4),
+              0u);
+    EXPECT_EQ(world->core(0).now(), before);  // Nothing charged.
+}
+
+TEST_F(ReclaimTest, ProtectedPagesFaultBackWithCorrectTag)
+{
+    Task *task = world->ready_thread();
+    auto [v, vpn] = world->make_domain(4);
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+    ASSERT_TRUE(world->sys.access(world->core(0), *task, vpn, true).ok);
+    world->proc.mm().reclaim_range(world->core(0), vpn, 4);
+    // Permission still held: access transparently demand-pages back in.
+    EXPECT_TRUE(world->sys.access(world->core(0), *task, vpn, true).ok);
+    // And the refaulted page carries the vdom's pdom, not the default.
+    auto pdom = task->vds()->pdom_of(v);
+    ASSERT_TRUE(pdom.has_value());
+    EXPECT_EQ(task->vds()->pgd().translate(vpn).pdom, *pdom);
+    // A thread without permission is still locked out after refault.
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kAccessDisable);
+    EXPECT_TRUE(world->sys.access(world->core(0), *task, vpn, false)
+                    .sigsegv);
+}
+
+TEST_F(ReclaimTest, ReclaimFlushesLiveTranslations)
+{
+    Task *task = world->ready_thread();
+    hw::Vpn region = world->proc.mm().mmap(1);
+    ASSERT_TRUE(world->sys.access(world->core(0), *task, region, true).ok);
+    // Warm the TLB before reclaim.
+    ASSERT_TRUE(world->sys.access(world->core(0), *task, region, false).ok);
+    world->proc.mm().reclaim_range(world->core(0), region, 1);
+    // The TLB entry must be gone: next access page-faults and re-populates.
+    hw::AccessResult raw = hw::Mmu::access(world->core(0), region, false);
+    EXPECT_EQ(raw.outcome, hw::AccessOutcome::kPageFault);
+}
+
+TEST_F(ReclaimTest, ReclaimAcrossMultipleVdses)
+{
+    Task *task = world->ready_thread();
+    hw::Vpn region = world->proc.mm().mmap(2);
+    Vds *other = world->proc.mm().create_vds();
+    world->proc.mm().fault_in(world->core(0), *task->vds(), region);
+    world->proc.mm().fault_in(world->core(0), *other, region);
+    world->proc.mm().reclaim_range(world->core(0), region, 2);
+    EXPECT_FALSE(other->pgd().translate(region).present);
+}
+
+TEST_F(ReclaimTest, ChargesMemSync)
+{
+    Task *task = world->ready_thread();
+    hw::Vpn region = world->proc.mm().mmap(4);
+    for (int i = 0; i < 4; ++i)
+        world->proc.mm().fault_in(world->core(0), *task->vds(), region + i);
+    hw::Cycles before =
+        world->core(0).breakdown().get(hw::CostKind::kMemSync);
+    world->proc.mm().reclaim_range(world->core(0), region, 4);
+    EXPECT_GT(world->core(0).breakdown().get(hw::CostKind::kMemSync),
+              before);
+}
+
+}  // namespace
+}  // namespace vdom::kernel

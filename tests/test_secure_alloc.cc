@@ -1,0 +1,142 @@
+/// \file
+/// Domain-aware arena allocator tests.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common.h"
+#include "vdom/secure_alloc.h"
+
+namespace vdom {
+namespace {
+
+using kernel::Task;
+using ::vdom::testing::World;
+
+class SecureAllocTest : public ::testing::Test {
+  protected:
+    SecureAllocTest() : world(World::x86(2))
+    {
+        task = world->ready_thread();
+        ps = world->machine.params().page_size;
+    }
+
+    std::unique_ptr<World> world;
+    Task *task = nullptr;
+    std::uint64_t ps = 0;
+};
+
+TEST_F(SecureAllocTest, AllocationsLandOnDomainPages)
+{
+    DomainAllocator arena(world->sys, world->core(0));
+    SecureAllocation a = arena.allocate(world->core(0), 64);
+    EXPECT_EQ(world->proc.mm().vdom_of(a.page(ps)), arena.domain());
+    // End-to-end: protected until opened.
+    EXPECT_TRUE(
+        world->sys.access(world->core(0), *task, a.page(ps), true).sigsegv);
+    arena.open(world->core(0), *task);
+    EXPECT_TRUE(
+        world->sys.access(world->core(0), *task, a.page(ps), true).ok);
+    arena.close(world->core(0), *task);
+    EXPECT_TRUE(
+        world->sys.access(world->core(0), *task, a.page(ps), false)
+            .sigsegv);
+}
+
+TEST_F(SecureAllocTest, BumpPacking)
+{
+    DomainAllocator arena(world->sys, world->core(0));
+    SecureAllocation a = arena.allocate(world->core(0), 100);
+    SecureAllocation b = arena.allocate(world->core(0), 100);
+    // Same page (packed), no overlap.
+    EXPECT_EQ(a.page(ps), b.page(ps));
+    EXPECT_GE(b.addr, a.addr + a.size);
+    EXPECT_EQ(arena.bytes_in_use(), 200u);
+}
+
+TEST_F(SecureAllocTest, AlignmentRespected)
+{
+    DomainAllocator arena(world->sys, world->core(0));
+    arena.allocate(world->core(0), 3);
+    SecureAllocation b = arena.allocate(world->core(0), 64, 64);
+    EXPECT_EQ(b.addr % 64, 0u);
+    // Bad alignment values fall back to 8.
+    SecureAllocation c = arena.allocate(world->core(0), 5, 3);
+    EXPECT_EQ(c.addr % 8, 0u);
+}
+
+TEST_F(SecureAllocTest, GrowsBeyondOneChunk)
+{
+    DomainAllocator arena(world->sys, world->core(0), false,
+                          /*chunk_pages=*/1);
+    std::uint64_t before = arena.pool_pages();
+    for (int i = 0; i < 20; ++i)
+        arena.allocate(world->core(0), ps / 2);
+    EXPECT_GT(arena.pool_pages(), before);
+    // Everything still under the one domain.
+    EXPECT_EQ(world->proc.mm().vdm().vdt().protected_pages(arena.domain()),
+              arena.pool_pages());
+}
+
+TEST_F(SecureAllocTest, LargeAllocationGetsOwnRun)
+{
+    DomainAllocator arena(world->sys, world->core(0), false, 2);
+    SecureAllocation big = arena.allocate(world->core(0), 5 * ps);
+    EXPECT_EQ(big.addr % ps, 0u);
+    EXPECT_GE(arena.pool_pages(), 5u);
+    arena.open(world->core(0), *task);
+    for (int p = 0; p < 5; ++p) {
+        EXPECT_TRUE(world->sys
+                        .access(world->core(0), *task, big.page(ps) + p,
+                                true)
+                        .ok)
+            << p;
+    }
+}
+
+TEST_F(SecureAllocTest, DistinctArenasNeverSharePages)
+{
+    DomainAllocator a(world->sys, world->core(0));
+    DomainAllocator b(world->sys, world->core(0));
+    SecureAllocation sa = a.allocate(world->core(0), 8);
+    SecureAllocation sb = b.allocate(world->core(0), 8);
+    EXPECT_NE(sa.page(ps), sb.page(ps));
+    EXPECT_NE(a.domain(), b.domain());
+    // Opening arena A grants nothing on arena B's pages.
+    a.open(world->core(0), *task);
+    EXPECT_TRUE(
+        world->sys.access(world->core(0), *task, sb.page(ps), false)
+            .sigsegv);
+}
+
+TEST_F(SecureAllocTest, ResetReusesPool)
+{
+    DomainAllocator arena(world->sys, world->core(0));
+    SecureAllocation first = arena.allocate(world->core(0), 128);
+    std::uint64_t pages = arena.pool_pages();
+    arena.reset();
+    EXPECT_EQ(arena.bytes_in_use(), 0u);
+    SecureAllocation again = arena.allocate(world->core(0), 128);
+    EXPECT_EQ(again.addr, first.addr);  // Same storage reused.
+    EXPECT_EQ(arena.pool_pages(), pages);
+}
+
+TEST_F(SecureAllocTest, SharedVdomArena)
+{
+    VdomId shared = world->sys.vdom_alloc(world->core(0));
+    DomainAllocator arena(world->sys, world->core(0), shared, 2);
+    SecureAllocation a = arena.allocate(world->core(0), 16);
+    EXPECT_EQ(arena.domain(), shared);
+    EXPECT_EQ(world->proc.mm().vdom_of(a.page(ps)), shared);
+}
+
+TEST_F(SecureAllocTest, ZeroByteAllocation)
+{
+    DomainAllocator arena(world->sys, world->core(0));
+    SecureAllocation a = arena.allocate(world->core(0), 0);
+    EXPECT_EQ(a.size, 1u);
+}
+
+}  // namespace
+}  // namespace vdom

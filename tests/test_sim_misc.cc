@@ -1,0 +1,221 @@
+/// \file
+/// Simulation-support tests: engine yield semantics, result-table
+/// formatting, app-model configuration defaults.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "apps/httpd.h"
+#include "apps/mysql.h"
+#include "apps/pmo.h"
+#include "common.h"
+#include "sim/engine.h"
+#include "sim/table.h"
+#include "sim/thread.h"
+
+namespace vdom::sim {
+namespace {
+
+using ::vdom::testing::World;
+
+/// A thread that yields until a shared flag flips, then finishes.
+class Waiter final : public SimThread {
+  public:
+    Waiter(bool &flag, std::vector<int> &order, int id)
+        : flag_(&flag), order_(&order), id_(id)
+    {
+    }
+
+    bool
+    step(hw::Core &core) override
+    {
+        if (!*flag_) {
+            core.charge(hw::CostKind::kIdle, 100);
+            yield();
+            return true;
+        }
+        core.charge(hw::CostKind::kCompute, 1'000);
+        order_->push_back(id_);
+        return false;
+    }
+
+  private:
+    bool *flag_;
+    std::vector<int> *order_;
+    int id_;
+};
+
+/// A thread that does fixed work then raises the flag.
+class Producer final : public SimThread {
+  public:
+    Producer(bool &flag, int steps) : flag_(&flag), steps_(steps) {}
+
+    bool
+    step(hw::Core &core) override
+    {
+        core.charge(hw::CostKind::kCompute, 5'000);
+        if (--steps_ == 0) {
+            *flag_ = true;
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool *flag_;
+    int steps_;
+};
+
+TEST(EngineYield, YieldingThreadsLetTheProducerRun)
+{
+    hw::Machine machine(hw::ArchParams::x86(1));
+    Engine engine(machine, nullptr, /*time_slice=*/1'000'000);
+    bool flag = false;
+    std::vector<int> order;
+    Waiter w1(flag, order, 1), w2(flag, order, 2);
+    Producer producer(flag, 10);
+    // All three share one core; the waiters are ahead in the queue.
+    engine.add_thread(&w1, 0);
+    engine.add_thread(&w2, 0);
+    engine.add_thread(&producer, 0);
+    engine.run();
+    // Both waiters completed after the producer flipped the flag.
+    EXPECT_EQ(order.size(), 2u);
+    // The waiters' yields kept their idle burn tiny relative to a
+    // time-slice-bounded spin (each yield visit costs 100 cycles, not a
+    // 1M-cycle slice).
+    EXPECT_LT(machine.core(0).breakdown().get(hw::CostKind::kIdle),
+              100'000.0);
+}
+
+TEST(EngineYield, SoloYielderStillProgresses)
+{
+    // A yielding thread alone on its core cannot be descheduled; its idle
+    // charges advance the clock so a cross-core condition can be met.
+    hw::Machine machine(hw::ArchParams::x86(2));
+    Engine engine(machine);
+    bool flag = false;
+    std::vector<int> order;
+    Waiter waiter(flag, order, 1);
+    Producer producer(flag, 5);
+    engine.add_thread(&waiter, 0);
+    engine.add_thread(&producer, 1);
+    engine.run();
+    EXPECT_EQ(order.size(), 1u);
+}
+
+TEST(Table, FormatsAlignedColumns)
+{
+    Table table("demo");
+    table.columns({"name", "value"});
+    table.row({"alpha", "1"});
+    table.row({"b", "22222"});
+    std::ostringstream out;
+    table.print(out);
+    std::string text = out.str();
+    EXPECT_NE(text.find("== demo =="), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    // Column alignment: both value cells start at the same offset.
+    auto lines_at = [&](const std::string &needle) {
+        return text.find(needle);
+    };
+    std::size_t a = lines_at("alpha");
+    std::size_t b = lines_at("b ");
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(b, std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(1000.0, 0), "1000");
+    EXPECT_EQ(Table::pct(0.1234), "12.34%");
+    EXPECT_EQ(Table::pct(0.5, 0), "50%");
+}
+
+TEST(AppConfigs, HttpdDefaultsSane)
+{
+    for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm}) {
+        apps::HttpdConfig c = apps::HttpdConfig::for_arch(arch, 8, 64);
+        EXPECT_EQ(c.clients, 8u);
+        EXPECT_EQ(c.file_kb, 64u);
+        EXPECT_GT(c.handshake_setup, 0.0);
+        EXPECT_GT(c.key_op_cycles, 0.0);
+        EXPECT_GT(c.per_kb_cycles, 0.0);
+        EXPECT_GE(c.keys_per_request, 2u);
+    }
+    // ARM requests are ~6x more expensive than X86 ones (1.2GHz Pi vs
+    // AES-NI Xeon).
+    apps::HttpdConfig x = apps::HttpdConfig::for_arch(hw::ArchKind::kX86,
+                                                      4, 1);
+    apps::HttpdConfig a = apps::HttpdConfig::for_arch(hw::ArchKind::kArm,
+                                                      4, 1);
+    EXPECT_GT(a.key_op_cycles, 3 * x.key_op_cycles);
+}
+
+TEST(AppConfigs, MysqlDefaultsSane)
+{
+    apps::MysqlConfig c =
+        apps::MysqlConfig::for_arch(hw::ArchKind::kX86, 16);
+    EXPECT_EQ(c.connections, 16u);
+    EXPECT_GT(c.serial_cycles, 0.0);
+    EXPECT_GT(c.engine_cycles, c.serial_cycles);
+    EXPECT_EQ(c.tables, 10u);
+    apps::MysqlConfig arm =
+        apps::MysqlConfig::for_arch(hw::ArchKind::kArm, 4);
+    EXPECT_GT(arm.client_delay, 0.0);  // The Pi's shared-core sysbench.
+}
+
+TEST(AppConfigs, PmoDefaultsSane)
+{
+    apps::PmoConfig c = apps::PmoConfig::for_arch(hw::ArchKind::kX86, 4);
+    EXPECT_EQ(c.pmos, 64u);
+    EXPECT_EQ(c.pmo_pages, 512u);  // 2MB.
+    EXPECT_NEAR(c.search_cycles + c.replace_cycles, 10'000, 1);  // §7.6.
+}
+
+TEST(AppRuns, DeterministicAcrossIdenticalRuns)
+{
+    auto run_once = [] {
+        auto world = std::unique_ptr<World>(World::x86(4));
+        world->sys.vdom_init(world->core(0));
+        apps::VdomStrategy strat(world->sys, 2);
+        apps::PmoConfig cfg = apps::PmoConfig::for_arch(hw::ArchKind::kX86,
+                                                        3);
+        cfg.ops_per_thread = 2'000;
+        apps::PmoResult r =
+            apps::run_pmo(world->machine, world->proc, strat, cfg);
+        return r.elapsed;
+    };
+    EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(EngineRobustness, EmptyEngineRunsToCompletion)
+{
+    hw::Machine machine(hw::ArchParams::x86(2));
+    Engine engine(machine);
+    engine.run();  // No threads: returns immediately.
+    EXPECT_EQ(engine.live_threads(), 0u);
+    EXPECT_EQ(engine.steps(), 0u);
+    engine.run_until(1'000'000);
+    EXPECT_DOUBLE_EQ(machine.max_clock(), 0.0);
+}
+
+TEST(EngineRobustness, SingleStepThread)
+{
+    hw::Machine machine(hw::ArchParams::x86(1));
+    Engine engine(machine);
+    bool flag = true;
+    std::vector<int> order;
+    Waiter one_shot(flag, order, 9);
+    engine.add_thread(&one_shot, 0);
+    engine.run();
+    EXPECT_EQ(order, std::vector<int>{9});
+    EXPECT_EQ(engine.steps(), 1u);
+}
+
+}  // namespace
+}  // namespace vdom::sim

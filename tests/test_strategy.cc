@@ -1,0 +1,166 @@
+/// \file
+/// Protection-strategy tests: the uniform back-end interface every app
+/// benchmark drives.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/strategy.h"
+#include "common.h"
+
+namespace vdom::apps {
+namespace {
+
+using kernel::Task;
+using ::vdom::testing::World;
+
+class StrategyTest : public ::testing::Test {
+  protected:
+    StrategyTest() : world(World::x86(4))
+    {
+        world->sys.vdom_init(world->core(0));
+        task = world->spawn(0);
+    }
+
+    hw::Vpn
+    fresh_pages(std::uint64_t n)
+    {
+        return world->proc.mm().mmap(n);
+    }
+
+    std::unique_ptr<World> world;
+    Task *task = nullptr;
+};
+
+TEST_F(StrategyTest, NoneNeverBlocksOrProtects)
+{
+    NoneStrategy strat(world->proc);
+    EXPECT_STREQ(strat.name(), "original");
+    hw::Vpn vpn = fresh_pages(2);
+    int obj = strat.register_object(world->core(0), *task, vpn, 2, false);
+    EXPECT_TRUE(strat.enable(world->core(0), *task, obj,
+                             VPerm::kFullAccess));
+    strat.access(world->core(0), *task, vpn, true);   // Demand-pages in.
+    strat.disable(world->core(0), *task, obj);
+    strat.access(world->core(0), *task, vpn, false);  // Still accessible.
+    EXPECT_TRUE(
+        task->vds()->pgd().translate(vpn).present);
+}
+
+TEST_F(StrategyTest, VdomEnforcesEndToEnd)
+{
+    VdomStrategy strat(world->sys, 2);
+    strat.thread_init(world->core(0), *task);
+    hw::Vpn vpn = fresh_pages(1);
+    int obj = strat.register_object(world->core(0), *task, vpn, 1, false);
+    strat.enable(world->core(0), *task, obj, VPerm::kFullAccess);
+    EXPECT_TRUE(world->sys.access(world->core(0), *task, vpn, true).ok);
+    strat.disable(world->core(0), *task, obj);
+    EXPECT_TRUE(
+        world->sys.access(world->core(0), *task, vpn, false).sigsegv);
+}
+
+TEST_F(StrategyTest, VdomAttachPagesExtendsTheDomain)
+{
+    VdomStrategy strat(world->sys, 2);
+    strat.thread_init(world->core(0), *task);
+    hw::Vpn first = fresh_pages(1);
+    int obj = strat.register_object(world->core(0), *task, first, 1, true);
+    hw::Vpn more = fresh_pages(3);
+    strat.attach_pages(world->core(0), *task, obj, more, 3);
+    strat.enable(world->core(0), *task, obj, VPerm::kFullAccess);
+    EXPECT_TRUE(world->sys.access(world->core(0), *task, more + 2, true).ok);
+    strat.disable(world->core(0), *task, obj);
+    EXPECT_TRUE(
+        world->sys.access(world->core(0), *task, more, false).sigsegv);
+}
+
+TEST_F(StrategyTest, LowerboundSharesOneDomain)
+{
+    LowerboundStrategy strat(world->sys);
+    strat.thread_init(world->core(0), *task);
+    hw::Vpn a = fresh_pages(1);
+    hw::Vpn b = fresh_pages(1);
+    int obj_a = strat.register_object(world->core(0), *task, a, 1, false);
+    int obj_b = strat.register_object(world->core(0), *task, b, 1, false);
+    EXPECT_NE(obj_a, obj_b);
+    // Enabling either handle opens BOTH regions: one physical domain.
+    strat.enable(world->core(0), *task, obj_a, VPerm::kFullAccess);
+    EXPECT_TRUE(world->sys.access(world->core(0), *task, a, true).ok);
+    EXPECT_TRUE(world->sys.access(world->core(0), *task, b, true).ok);
+    strat.disable(world->core(0), *task, obj_b);
+    EXPECT_TRUE(world->sys.access(world->core(0), *task, a, false).sigsegv);
+}
+
+TEST_F(StrategyTest, LibmpkBlocksOnlyWhenSaturated)
+{
+    baselines::LibMpk mpk(world->proc);
+    LibmpkStrategy strat(world->proc, mpk);
+    std::vector<int> objs;
+    for (int i = 0; i < 15; ++i) {
+        objs.push_back(strat.register_object(world->core(0), *task,
+                                             fresh_pages(1), 1, false));
+        EXPECT_TRUE(strat.enable(world->core(0), *task, objs.back(),
+                                 VPerm::kFullAccess));
+    }
+    // A second thread wanting a 16th held key must spin...
+    Task *other = world->spawn(1);
+    int extra = strat.register_object(world->core(1), *other,
+                                      fresh_pages(1), 1, false);
+    EXPECT_FALSE(strat.enable(world->core(1), *other, extra,
+                              VPerm::kFullAccess));
+    // ...until this thread releases one.
+    strat.disable(world->core(0), *task, objs[0]);
+    EXPECT_TRUE(strat.enable(world->core(1), *other, extra,
+                             VPerm::kFullAccess));
+}
+
+TEST_F(StrategyTest, EpkTaxesWorkAndIo)
+{
+    baselines::Epk epk(world->machine.params());
+    EpkStrategy strat(world->proc, epk);
+    hw::Core &core = world->core(2);
+    strat.work(core, 10'000);
+    strat.io(core, 10'000);
+    const hw::CycleBreakdown &b = core.breakdown();
+    EXPECT_DOUBLE_EQ(b.get(hw::CostKind::kCompute), 10'000.0);
+    EXPECT_DOUBLE_EQ(b.get(hw::CostKind::kIo), 10'000.0);
+    EXPECT_GT(b.get(hw::CostKind::kVmOverhead), 0.0);
+
+    // By contrast the plain strategies charge no tax.
+    NoneStrategy none(world->proc);
+    hw::Core &core3 = world->core(3);
+    none.work(core3, 10'000);
+    none.io(core3, 10'000);
+    EXPECT_DOUBLE_EQ(core3.breakdown().get(hw::CostKind::kVmOverhead),
+                     0.0);
+}
+
+TEST_F(StrategyTest, EpkEnableNeverBlocks)
+{
+    baselines::Epk epk(world->machine.params());
+    EpkStrategy strat(world->proc, epk);
+    for (int i = 0; i < 40; ++i) {
+        int obj = strat.register_object(world->core(0), *task,
+                                        fresh_pages(1), 1, false);
+        EXPECT_TRUE(strat.enable(world->core(0), *task, obj,
+                                 VPerm::kFullAccess));
+    }
+    EXPECT_EQ(epk.num_epts(), 3u);
+    EXPECT_GT(epk.stats().vmfunc_switches, 0u);
+}
+
+TEST_F(StrategyTest, PlainAccessDemandPagesOnce)
+{
+    NoneStrategy strat(world->proc);
+    hw::Vpn vpn = fresh_pages(1);
+    strat.access(world->core(0), *task, vpn, true);
+    hw::Cycles after_first = world->core(0).now();
+    strat.access(world->core(0), *task, vpn, false);
+    // Second access is a TLB hit: orders of magnitude cheaper.
+    EXPECT_LT(world->core(0).now() - after_first, 10.0);
+}
+
+}  // namespace
+}  // namespace vdom::apps

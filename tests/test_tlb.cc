@@ -1,0 +1,120 @@
+/// \file
+/// TLB model tests: ASID tagging, LRU capacity, flush variants.
+
+#include <gtest/gtest.h>
+
+#include "hw/tlb.h"
+
+namespace vdom::hw {
+namespace {
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb(8);
+    EXPECT_FALSE(tlb.lookup(1, 100).has_value());
+    tlb.insert(1, 100, TlbEntry{3, false});
+    auto hit = tlb.lookup(1, 100);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->pdom, 3);
+    EXPECT_EQ(tlb.stats().hits, 1u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, AsidTaggingSeparatesAddressSpaces)
+{
+    Tlb tlb(8);
+    tlb.insert(1, 100, TlbEntry{3, false});
+    tlb.insert(2, 100, TlbEntry{7, false});
+    EXPECT_EQ(tlb.lookup(1, 100)->pdom, 3);
+    EXPECT_EQ(tlb.lookup(2, 100)->pdom, 7);
+}
+
+TEST(Tlb, CapacityEvictsLru)
+{
+    Tlb tlb(4);
+    for (Vpn v = 0; v < 4; ++v)
+        tlb.insert(1, v, TlbEntry{0, false});
+    // Touch 0 so it is MRU; inserting a 5th evicts vpn 1 (LRU).
+    ASSERT_TRUE(tlb.lookup(1, 0).has_value());
+    tlb.insert(1, 99, TlbEntry{0, false});
+    EXPECT_TRUE(tlb.lookup(1, 0).has_value());
+    EXPECT_FALSE(tlb.lookup(1, 1).has_value());
+    EXPECT_EQ(tlb.stats().evictions, 1u);
+}
+
+TEST(Tlb, InsertExistingUpdates)
+{
+    Tlb tlb(4);
+    tlb.insert(1, 5, TlbEntry{2, false});
+    tlb.insert(1, 5, TlbEntry{9, false});
+    EXPECT_EQ(tlb.size(), 1u);
+    EXPECT_EQ(tlb.lookup(1, 5)->pdom, 9);
+}
+
+TEST(Tlb, FlushAll)
+{
+    Tlb tlb(8);
+    tlb.insert(1, 1, {});
+    tlb.insert(2, 2, {});
+    tlb.flush_all();
+    EXPECT_EQ(tlb.size(), 0u);
+    EXPECT_EQ(tlb.stats().flushes_all, 1u);
+}
+
+TEST(Tlb, FlushAsidIsSelective)
+{
+    Tlb tlb(8);
+    tlb.insert(1, 1, {});
+    tlb.insert(1, 2, {});
+    tlb.insert(2, 1, {});
+    tlb.flush_asid(1);
+    EXPECT_FALSE(tlb.lookup(1, 1).has_value());
+    EXPECT_FALSE(tlb.lookup(1, 2).has_value());
+    EXPECT_TRUE(tlb.lookup(2, 1).has_value());
+}
+
+TEST(Tlb, FlushRangeCountsTouchedPages)
+{
+    Tlb tlb(16);
+    for (Vpn v = 0; v < 8; ++v)
+        tlb.insert(3, v, {});
+    std::uint64_t touched = tlb.flush_range(3, 2, 4);
+    EXPECT_EQ(touched, 4u);
+    EXPECT_TRUE(tlb.lookup(3, 0).has_value());
+    EXPECT_FALSE(tlb.lookup(3, 3).has_value());
+    EXPECT_TRUE(tlb.lookup(3, 6).has_value());
+    EXPECT_EQ(tlb.stats().flushed_pages, 4u);
+}
+
+TEST(Tlb, FlushRangeOtherAsidUntouched)
+{
+    Tlb tlb(16);
+    tlb.insert(1, 5, {});
+    tlb.insert(2, 5, {});
+    tlb.flush_range(1, 0, 10);
+    EXPECT_TRUE(tlb.lookup(2, 5).has_value());
+}
+
+TEST(Tlb, HugeFlagTravels)
+{
+    Tlb tlb(4);
+    tlb.insert(1, 0, TlbEntry{4, true});
+    EXPECT_TRUE(tlb.lookup(1, 0)->huge);
+}
+
+class TlbCapacitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TlbCapacitySweep, NeverExceedsCapacity)
+{
+    std::size_t cap = GetParam();
+    Tlb tlb(cap);
+    for (Vpn v = 0; v < 3 * cap + 7; ++v)
+        tlb.insert(1, v, {});
+    EXPECT_LE(tlb.size(), cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, TlbCapacitySweep,
+                         ::testing::Values(1, 2, 16, 512, 1536));
+
+}  // namespace
+}  // namespace vdom::hw

@@ -1,0 +1,126 @@
+/// \file
+/// Event-tracer tests: recording, filtering, hook wiring into the
+/// virtualization algorithm.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "common.h"
+#include "sim/trace.h"
+
+namespace vdom::sim {
+namespace {
+
+using kernel::Task;
+using ::vdom::testing::World;
+
+TEST(Tracer, RecordAndFilter)
+{
+    Tracer tracer(16);
+    tracer.record({TraceEvent::kEvict, 100, 1, 5, 0, 0});
+    tracer.record({TraceEvent::kVdsSwitch, 200, 1, 6, 0, 1});
+    tracer.record({TraceEvent::kEvict, 300, 2, 7, 1, 1});
+    EXPECT_EQ(tracer.total(), 3u);
+    EXPECT_EQ(tracer.count(TraceEvent::kEvict), 2u);
+    auto evicts = tracer.filter(TraceEvent::kEvict);
+    ASSERT_EQ(evicts.size(), 2u);
+    EXPECT_EQ(evicts[0].vdom, 5u);
+    EXPECT_EQ(evicts[1].tid, 2u);
+}
+
+TEST(Tracer, RingBounds)
+{
+    Tracer tracer(4);
+    for (int i = 0; i < 10; ++i)
+        tracer.record({TraceEvent::kFault, double(i), 0, 0, 0, 0});
+    EXPECT_EQ(tracer.records().size(), 4u);
+    EXPECT_EQ(tracer.total(), 10u);
+    EXPECT_DOUBLE_EQ(tracer.records().front().when, 6.0);
+}
+
+TEST(Tracer, NoSinkNoCost)
+{
+    set_trace_sink(nullptr);
+    trace({TraceEvent::kFault, 0, 0, 0, 0, 0});  // Must not crash.
+    EXPECT_EQ(trace_sink(), nullptr);
+}
+
+TEST(Tracer, ScopedAttachment)
+{
+    Tracer outer, inner;
+    set_trace_sink(nullptr);
+    {
+        ScopedTrace attach_outer(outer);
+        trace({TraceEvent::kFault, 1, 0, 0, 0, 0});
+        {
+            ScopedTrace attach_inner(inner);
+            trace({TraceEvent::kFault, 2, 0, 0, 0, 0});
+        }
+        trace({TraceEvent::kFault, 3, 0, 0, 0, 0});
+    }
+    EXPECT_EQ(trace_sink(), nullptr);
+    EXPECT_EQ(outer.total(), 2u);
+    EXPECT_EQ(inner.total(), 1u);
+}
+
+TEST(Tracer, FormatAndDump)
+{
+    Tracer tracer;
+    tracer.record({TraceEvent::kMigration, 1234, 7, 42, 0, 3});
+    std::string line = Tracer::format(tracer.records().front());
+    EXPECT_NE(line.find("migration"), std::string::npos);
+    EXPECT_NE(line.find("tid=7"), std::string::npos);
+    EXPECT_NE(line.find("vdom=42"), std::string::npos);
+    EXPECT_NE(line.find("0->3"), std::string::npos);
+    std::ostringstream out;
+    tracer.dump(out);
+    EXPECT_NE(out.str().find("migration"), std::string::npos);
+}
+
+TEST(Tracer, CapturesAlgorithmEvents)
+{
+    auto world = std::unique_ptr<World>(World::x86(2));
+    Task *task = world->ready_thread(/*nas=*/1);
+    Tracer tracer;
+    ScopedTrace attach(tracer);
+    std::size_t usable = world->machine.params().usable_pdoms();
+    for (std::size_t i = 0; i < usable + 2; ++i) {
+        auto [v, vpn] = world->make_domain(1);
+        (void)vpn;
+        world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+        world->sys.wrvdr(world->core(0), *task, v, VPerm::kAccessDisable);
+    }
+    EXPECT_EQ(tracer.count(TraceEvent::kMapFree), usable);
+    EXPECT_EQ(tracer.count(TraceEvent::kEvict), 2u);  // The two overflows.
+    EXPECT_EQ(tracer.count(TraceEvent::kMigration), 0u);
+}
+
+TEST(Tracer, CapturesSigsegv)
+{
+    auto world = std::unique_ptr<World>(World::x86(2));
+    Task *task = world->ready_thread();
+    auto [v, vpn] = world->make_domain(1);
+    (void)v;
+    Tracer tracer;
+    ScopedTrace attach(tracer);
+    world->sys.access(world->core(0), *task, vpn, true);
+    EXPECT_EQ(tracer.count(TraceEvent::kSigsegv), 1u);
+    EXPECT_GE(tracer.count(TraceEvent::kFault), 1u);
+}
+
+TEST(Tracer, CapturesShootdowns)
+{
+    auto world = std::unique_ptr<World>(World::x86(4));
+    world->spawn(0);
+    world->spawn(1);
+    Tracer tracer;
+    ScopedTrace attach(tracer);
+    world->proc.shootdown().shoot(world->core(0), 0b0010,
+                                  kernel::FlushKind::kAll);
+    EXPECT_EQ(tracer.count(TraceEvent::kShootdown), 1u);
+}
+
+}  // namespace
+}  // namespace vdom::sim

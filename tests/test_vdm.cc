@@ -1,0 +1,78 @@
+/// \file
+/// VDM tests: unlimited allocation, reserved ids, free-list recycling.
+
+#include <gtest/gtest.h>
+
+#include "kernel/vdm.h"
+
+namespace vdom::kernel {
+namespace {
+
+TEST(Vdm, ReservedIdsExistAtBirth)
+{
+    Vdm vdm;
+    EXPECT_TRUE(vdm.is_allocated(kCommonVdom));
+    EXPECT_TRUE(vdm.is_allocated(kApiVdom));
+    EXPECT_TRUE(vdm.is_frequent(kCommonVdom));
+}
+
+TEST(Vdm, AllocReturnsFreshIds)
+{
+    Vdm vdm;
+    VdomId a = vdm.alloc(false);
+    VdomId b = vdm.alloc(true);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, kCommonVdom);
+    EXPECT_NE(a, kApiVdom);
+    EXPECT_TRUE(vdm.is_allocated(a));
+    EXPECT_FALSE(vdm.is_frequent(a));
+    EXPECT_TRUE(vdm.is_frequent(b));
+}
+
+TEST(Vdm, UnlimitedAllocation)
+{
+    // "a thread can always obtain a new virtual domain" (§5): allocate far
+    // beyond the 16 hardware domains.
+    Vdm vdm;
+    for (int i = 0; i < 100000; ++i)
+        ASSERT_NE(vdm.alloc(false), kInvalidVdom);
+    EXPECT_EQ(vdm.live_count(), 100002u);
+}
+
+TEST(Vdm, FreeAndRecycle)
+{
+    Vdm vdm;
+    VdomId a = vdm.alloc(false);
+    EXPECT_TRUE(vdm.free(a));
+    EXPECT_FALSE(vdm.is_allocated(a));
+    EXPECT_FALSE(vdm.free(a));  // Double free rejected.
+    VdomId b = vdm.alloc(false);
+    EXPECT_EQ(b, a);  // Recycled.
+}
+
+TEST(Vdm, ReservedIdsCannotBeFreed)
+{
+    Vdm vdm;
+    EXPECT_FALSE(vdm.free(kCommonVdom));
+    EXPECT_FALSE(vdm.free(kApiVdom));
+}
+
+TEST(Vdm, FreeDropsVdtChains)
+{
+    Vdm vdm;
+    VdomId a = vdm.alloc(false);
+    vdm.vdt().add_area(a, VdtArea{0, 8, false});
+    vdm.free(a);
+    EXPECT_TRUE(vdm.vdt().areas(a).empty());
+}
+
+TEST(Vdm, UnknownIdQueries)
+{
+    Vdm vdm;
+    EXPECT_FALSE(vdm.is_allocated(999));
+    EXPECT_FALSE(vdm.is_frequent(999));
+    EXPECT_FALSE(vdm.free(999));
+}
+
+}  // namespace
+}  // namespace vdom::kernel

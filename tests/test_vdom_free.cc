@@ -1,0 +1,104 @@
+/// \file
+/// vdom_free lifecycle tests: revocation everywhere, id recycling with
+/// fresh state, and interaction with live threads.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common.h"
+
+namespace vdom {
+namespace {
+
+using kernel::Task;
+using ::vdom::testing::World;
+
+class VdomFreeTest : public ::testing::Test {
+  protected:
+    VdomFreeTest() : world(World::x86(2)) { task = world->ready_thread(4); }
+
+    std::unique_ptr<World> world;
+    Task *task = nullptr;
+};
+
+TEST_F(VdomFreeTest, RecycledIdStartsClean)
+{
+    auto [v, vpn] = world->make_domain(4);
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+    ASSERT_TRUE(world->sys.access(world->core(0), *task, vpn, true).ok);
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kAccessDisable);
+    ASSERT_EQ(world->sys.vdom_free(world->core(0), v), VdomStatus::kOk);
+
+    // The freed id comes back from the free list...
+    VdomId recycled = world->sys.vdom_alloc(world->core(0));
+    EXPECT_EQ(recycled, v);
+    // ...with no VDT baggage from its previous life.
+    EXPECT_TRUE(world->proc.mm().vdm().vdt().areas(recycled).empty());
+    // The old pages remain inaccessible even if the recycled id is
+    // granted (they belong to no live vdom now).
+    world->sys.wrvdr(world->core(0), *task, recycled, VPerm::kFullAccess);
+    EXPECT_TRUE(world->sys.access(world->core(0), *task, vpn, true).sigsegv);
+
+    // A new region under the recycled id works normally.
+    hw::Vpn fresh = world->proc.mm().mmap(2);
+    EXPECT_EQ(world->sys.vdom_mprotect(world->core(0), fresh, 2, recycled),
+              VdomStatus::kOk);
+    EXPECT_TRUE(world->sys.access(world->core(0), *task, fresh, true).ok);
+}
+
+TEST_F(VdomFreeTest, FreeUnmapsFromEveryVds)
+{
+    // Spread the vdom across two VDSes via switching, then free it.
+    auto [v, vpn] = world->make_domain(1);
+    (void)vpn;
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+    kernel::Vds *vds0 = world->proc.mm().vds0();
+    ASSERT_TRUE(vds0->is_mapped(v));
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kAccessDisable);
+    ASSERT_EQ(world->sys.vdom_free(world->core(0), v), VdomStatus::kOk);
+    for (const auto &vds : world->proc.mm().vdses())
+        EXPECT_FALSE(vds->is_mapped(v));
+    // Double free reports the dead id.
+    EXPECT_EQ(world->sys.vdom_free(world->core(0), v),
+              VdomStatus::kInvalidVdom);
+}
+
+TEST_F(VdomFreeTest, WrvdrOnFreedVdomRejected)
+{
+    auto [v, vpn] = world->make_domain(1);
+    (void)vpn;
+    world->sys.vdom_free(world->core(0), v);
+    EXPECT_EQ(world->sys.wrvdr(world->core(0), *task, v,
+                               VPerm::kFullAccess),
+              VdomStatus::kInvalidVdom);
+}
+
+TEST_F(VdomFreeTest, FreeWhileAnotherThreadHoldsPermission)
+{
+    // Thread 2 holds FA when the domain is freed: its stale VDR bits must
+    // not grant access to anything afterwards.
+    Task *other = world->spawn(1);
+    world->sys.vdr_alloc(world->core(1), *other, 2);
+    auto [v, vpn] = world->make_domain(2);
+    world->sys.wrvdr(world->core(1), *other, v, VPerm::kFullAccess);
+    ASSERT_TRUE(world->sys.access(world->core(1), *other, vpn, true).ok);
+    ASSERT_EQ(world->sys.vdom_free(world->core(0), v), VdomStatus::kOk);
+    EXPECT_TRUE(world->sys.access(world->core(1), *other, vpn, true)
+                    .sigsegv);
+}
+
+TEST_F(VdomFreeTest, MunmapThenFreeThenReuseAddressSpace)
+{
+    auto [v, vpn] = world->make_domain(4);
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+    world->sys.access(world->core(0), *task, vpn, true);
+    world->proc.mm().munmap(world->core(0), vpn, 4);
+    EXPECT_EQ(world->sys.vdom_free(world->core(0), v), VdomStatus::kOk);
+    // The VMA range is gone; accesses land on unmapped memory.
+    EXPECT_TRUE(world->sys.access(world->core(0), *task, vpn, false)
+                    .sigsegv);
+}
+
+}  // namespace
+}  // namespace vdom

@@ -1,0 +1,84 @@
+/// \file
+/// VDR tests: unlimited per-vdom permissions, active-set tracking.
+
+#include <gtest/gtest.h>
+
+#include "vdom/vdr.h"
+
+namespace vdom {
+namespace {
+
+TEST(Vdr, DefaultsToAccessDisable)
+{
+    Vdr vdr;
+    EXPECT_EQ(vdr.get(42), VPerm::kAccessDisable);
+    EXPECT_EQ(vdr.get(kCommonVdom), VPerm::kFullAccess);
+    EXPECT_EQ(vdr.active_count(), 0u);
+}
+
+TEST(Vdr, SetReturnsOldValue)
+{
+    Vdr vdr;
+    EXPECT_EQ(vdr.set(5, VPerm::kFullAccess), VPerm::kAccessDisable);
+    EXPECT_EQ(vdr.set(5, VPerm::kWriteDisable), VPerm::kFullAccess);
+    EXPECT_EQ(vdr.get(5), VPerm::kWriteDisable);
+}
+
+TEST(Vdr, ActiveCountTracksTransitions)
+{
+    Vdr vdr;
+    vdr.set(1, VPerm::kFullAccess);
+    vdr.set(2, VPerm::kWriteDisable);
+    EXPECT_EQ(vdr.active_count(), 2u);
+    vdr.set(1, VPerm::kAccessDisable);
+    EXPECT_EQ(vdr.active_count(), 1u);
+    vdr.set(2, VPerm::kPinned);  // Pinned is NOT active (it is AD).
+    EXPECT_EQ(vdr.active_count(), 0u);
+}
+
+TEST(Vdr, UnlimitedVdomIds)
+{
+    Vdr vdr;
+    vdr.set(1'000'000, VPerm::kFullAccess);
+    EXPECT_EQ(vdr.get(1'000'000), VPerm::kFullAccess);
+    EXPECT_EQ(vdr.active_count(), 1u);
+}
+
+TEST(Vdr, ForEachActiveSkipsPinnedAndAd)
+{
+    Vdr vdr;
+    vdr.set(1, VPerm::kFullAccess);
+    vdr.set(2, VPerm::kPinned);
+    vdr.set(3, VPerm::kWriteDisable);
+    std::size_t count = 0;
+    vdr.for_each_active([&](VdomId v, VPerm) {
+        EXPECT_NE(v, 2u);
+        ++count;
+    });
+    EXPECT_EQ(count, 2u);
+    // for_each sees pinned too.
+    count = 0;
+    vdr.for_each([&](VdomId, VPerm) { ++count; });
+    EXPECT_EQ(count, 3u);
+}
+
+TEST(Vdr, Clear)
+{
+    Vdr vdr;
+    vdr.set(1, VPerm::kFullAccess);
+    vdr.clear();
+    EXPECT_EQ(vdr.get(1), VPerm::kAccessDisable);
+    EXPECT_EQ(vdr.active_count(), 0u);
+}
+
+TEST(VPerm, HwMapping)
+{
+    EXPECT_EQ(to_hw_perm(VPerm::kFullAccess), hw::Perm::kFullAccess);
+    EXPECT_EQ(to_hw_perm(VPerm::kWriteDisable), hw::Perm::kWriteDisable);
+    EXPECT_EQ(to_hw_perm(VPerm::kAccessDisable), hw::Perm::kAccessDisable);
+    // The pinned type is access-disabled at the hardware level (§5.2).
+    EXPECT_EQ(to_hw_perm(VPerm::kPinned), hw::Perm::kAccessDisable);
+}
+
+}  // namespace
+}  // namespace vdom

@@ -1,0 +1,188 @@
+/// \file
+/// VDS tests: domain map, free-pdom accounting, HLRU victim selection.
+
+#include <gtest/gtest.h>
+
+#include "hw/arch.h"
+#include "kernel/vds.h"
+
+namespace vdom::kernel {
+namespace {
+
+class VdsTest : public ::testing::Test {
+  protected:
+    VdsTest() : params(hw::ArchParams::x86(4)), vds(1, params) {}
+
+    hw::ArchParams params;
+    Vds vds;
+};
+
+TEST_F(VdsTest, CommonVdomPreMapped)
+{
+    EXPECT_TRUE(vds.is_mapped(kCommonVdom));
+    EXPECT_EQ(*vds.pdom_of(kCommonVdom), params.default_pdom);
+    EXPECT_EQ(vds.free_pdoms(), params.usable_pdoms());
+}
+
+TEST_F(VdsTest, MapUnmapAccounting)
+{
+    auto pdom = vds.find_free_pdom(std::nullopt);
+    ASSERT_TRUE(pdom.has_value());
+    EXPECT_GE(*pdom, hw::Pdom(params.num_reserved_pdoms));
+    vds.map_vdom(*pdom, 42);
+    EXPECT_TRUE(vds.is_mapped(42));
+    EXPECT_EQ(vds.vdom_at(*pdom), 42u);
+    EXPECT_EQ(vds.free_pdoms(), params.usable_pdoms() - 1);
+    vds.unmap_pdom(*pdom);
+    EXPECT_FALSE(vds.is_mapped(42));
+    EXPECT_EQ(vds.free_pdoms(), params.usable_pdoms());
+}
+
+TEST_F(VdsTest, LastPdomRemembered)
+{
+    vds.map_vdom(5, 42);
+    vds.unmap_pdom(5);
+    ASSERT_TRUE(vds.last_pdom(42).has_value());
+    EXPECT_EQ(*vds.last_pdom(42), 5);
+    // find_free_pdom prefers the remembered pdom (HLRU).
+    EXPECT_EQ(*vds.find_free_pdom(vds.last_pdom(42)), 5);
+}
+
+TEST_F(VdsTest, ExhaustFreePdoms)
+{
+    for (std::size_t i = 0; i < params.usable_pdoms(); ++i) {
+        auto pdom = vds.find_free_pdom(std::nullopt);
+        ASSERT_TRUE(pdom.has_value());
+        vds.map_vdom(*pdom, 100 + i);
+    }
+    EXPECT_EQ(vds.free_pdoms(), 0u);
+    EXPECT_FALSE(vds.find_free_pdom(std::nullopt).has_value());
+}
+
+TEST_F(VdsTest, ThreadRefs)
+{
+    vds.map_vdom(4, 7);
+    vds.add_thread_ref(7);
+    vds.add_thread_ref(7);
+    EXPECT_EQ(vds.thread_refs(7), 2u);
+    vds.remove_thread_ref(7);
+    EXPECT_EQ(vds.thread_refs(7), 1u);
+    // Unmap clears refs.
+    vds.unmap_pdom(4);
+    EXPECT_EQ(vds.thread_refs(7), 0u);
+}
+
+TEST_F(VdsTest, HlruPrefersIncomingsLastPdom)
+{
+    vds.map_vdom(4, 10);
+    vds.unmap_pdom(4);    // vdom 10's last pdom = 4.
+    vds.map_vdom(4, 11);  // Now 11 occupies it.
+    vds.map_vdom(5, 12);
+    auto evictable = [](VdomId) { return true; };
+    auto pinned = [](VdomId) { return false; };
+    auto victim = vds.choose_victim(10, evictable, pinned);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(*victim, 4);  // Displace the occupant of 10's old slot.
+}
+
+TEST_F(VdsTest, HlruFallsBackToLru)
+{
+    vds.map_vdom(4, 10);
+    vds.map_vdom(5, 11);
+    vds.map_vdom(6, 12);
+    vds.touch(10, 100.0);
+    vds.touch(11, 50.0);
+    vds.touch(12, 200.0);
+    auto victim = vds.choose_victim(
+        99, [](VdomId) { return true; }, [](VdomId) { return false; });
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(vds.vdom_at(*victim), 11u);  // Least recently used.
+}
+
+TEST_F(VdsTest, HlruSkipsPinnedUntilForced)
+{
+    vds.map_vdom(4, 10);
+    vds.map_vdom(5, 11);
+    vds.touch(10, 10.0);
+    vds.touch(11, 20.0);
+    auto pinned10 = [](VdomId v) { return v == 10; };
+    auto victim = vds.choose_victim(
+        99, [](VdomId) { return true; }, pinned10);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(vds.vdom_at(*victim), 11u);  // 10 is pinned, 11 loses.
+    // When everything is pinned, strict LRU applies (§5.5).
+    auto all_pinned = [](VdomId) { return true; };
+    victim = vds.choose_victim(99, [](VdomId) { return true; }, all_pinned);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(vds.vdom_at(*victim), 10u);
+}
+
+TEST_F(VdsTest, VictimNeverCommonVdom)
+{
+    // Only vdom0 mapped: nothing evictable.
+    auto victim = vds.choose_victim(
+        99, [](VdomId) { return true; }, [](VdomId) { return false; });
+    EXPECT_FALSE(victim.has_value());
+}
+
+TEST_F(VdsTest, InaccessibleFilter)
+{
+    vds.map_vdom(4, 10);
+    vds.map_vdom(5, 11);
+    auto only11 = [](VdomId v) { return v == 11; };
+    auto victim = vds.choose_victim(
+        99, only11, [](VdomId) { return false; });
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(vds.vdom_at(*victim), 11u);
+}
+
+TEST_F(VdsTest, ConsistencyCheck)
+{
+    EXPECT_TRUE(vds.check_consistency());
+    vds.map_vdom(4, 10);
+    vds.map_vdom(5, 11);
+    vds.unmap_pdom(4);
+    EXPECT_TRUE(vds.check_consistency());
+}
+
+TEST_F(VdsTest, CpuBitmapAndResidency)
+{
+    vds.thread_enter();
+    vds.cpu_set(2);
+    EXPECT_EQ(vds.resident_threads(), 1u);
+    EXPECT_EQ(vds.cpu_bitmap(), 4u);
+    vds.cpu_clear(2);
+    vds.thread_leave();
+    EXPECT_EQ(vds.resident_threads(), 0u);
+    EXPECT_EQ(vds.cpu_bitmap(), 0u);
+}
+
+TEST_F(VdsTest, TlbGenerations)
+{
+    EXPECT_EQ(vds.tlb_gen(), 1u);
+    vds.set_core_seen_gen(0, 1);
+    vds.bump_tlb_gen();
+    EXPECT_EQ(vds.tlb_gen(), 2u);
+    EXPECT_LT(vds.core_seen_gen(0), vds.tlb_gen());
+}
+
+TEST(VdsArm, FewerUsablePdoms)
+{
+    hw::ArchParams arm = hw::ArchParams::arm(4);
+    Vds vds(1, arm);
+    EXPECT_EQ(vds.usable_pdoms(), 12u);
+    // First usable pdom skips the reserved kernel/IO domains.
+    auto pdom = vds.find_free_pdom(std::nullopt);
+    ASSERT_TRUE(pdom.has_value());
+    EXPECT_GE(*pdom, 4);
+}
+
+TEST(VdsIds, UniqueContextIds)
+{
+    hw::ArchParams p = hw::ArchParams::x86(2);
+    Vds a(1, p), b(2, p);
+    EXPECT_NE(a.ctx_id(), b.ctx_id());
+}
+
+}  // namespace
+}  // namespace vdom::kernel

@@ -1,0 +1,68 @@
+/// \file
+/// VMA tree tests: lookup, overlap queries, containment.
+
+#include <gtest/gtest.h>
+
+#include "kernel/vma.h"
+
+namespace vdom::kernel {
+namespace {
+
+TEST(VmaTree, FindContaining)
+{
+    VmaTree tree;
+    tree.insert(Vma{100, 10, 3, false});
+    tree.insert(Vma{200, 5, 4, false});
+    ASSERT_NE(tree.find(105), nullptr);
+    EXPECT_EQ(tree.find(105)->vdom, 3u);
+    EXPECT_EQ(tree.find(99), nullptr);
+    EXPECT_EQ(tree.find(110), nullptr);  // End-exclusive.
+    EXPECT_EQ(tree.find(204)->vdom, 4u);
+}
+
+TEST(VmaTree, OverlappingQuery)
+{
+    VmaTree tree;
+    tree.insert(Vma{0, 10, 1, false});
+    tree.insert(Vma{20, 10, 2, false});
+    tree.insert(Vma{40, 10, 3, false});
+    auto hits = tree.overlapping(5, 30);  // [5, 35): regions 1 and 2.
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0]->vdom, 1u);
+    EXPECT_EQ(hits[1]->vdom, 2u);
+}
+
+TEST(VmaTree, OverlappingExactBoundaries)
+{
+    VmaTree tree;
+    tree.insert(Vma{10, 10, 1, false});
+    EXPECT_TRUE(tree.overlapping(0, 10).empty());   // [0,10) touches only.
+    EXPECT_EQ(tree.overlapping(0, 11).size(), 1u);
+    EXPECT_EQ(tree.overlapping(19, 1).size(), 1u);
+    EXPECT_TRUE(tree.overlapping(20, 5).empty());
+}
+
+TEST(VmaTree, EraseAndSize)
+{
+    VmaTree tree;
+    tree.insert(Vma{0, 4, 0, false});
+    tree.insert(Vma{8, 4, 0, false});
+    EXPECT_EQ(tree.size(), 2u);
+    EXPECT_TRUE(tree.erase(0));
+    EXPECT_FALSE(tree.erase(0));
+    EXPECT_EQ(tree.size(), 1u);
+    EXPECT_EQ(tree.find(1), nullptr);
+}
+
+TEST(VmaTree, Contains)
+{
+    Vma vma{10, 5, 0, false};
+    EXPECT_TRUE(vma.contains(10));
+    EXPECT_TRUE(vma.contains(14));
+    EXPECT_FALSE(vma.contains(15));
+    EXPECT_FALSE(vma.contains(9));
+    EXPECT_EQ(vma.end(), 15u);
+}
+
+}  // namespace
+}  // namespace vdom::kernel
