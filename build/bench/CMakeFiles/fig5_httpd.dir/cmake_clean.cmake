@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_httpd.dir/fig5_httpd.cc.o"
+  "CMakeFiles/fig5_httpd.dir/fig5_httpd.cc.o.d"
+  "fig5_httpd"
+  "fig5_httpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_httpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mysql.dir/fig6_mysql.cc.o"
+  "CMakeFiles/fig6_mysql.dir/fig6_mysql.cc.o.d"
+  "fig6_mysql"
+  "fig6_mysql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mysql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_string_replace.dir/fig7_string_replace.cc.o"
+  "CMakeFiles/fig7_string_replace.dir/fig7_string_replace.cc.o.d"
+  "fig7_string_replace"
+  "fig7_string_replace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_string_replace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

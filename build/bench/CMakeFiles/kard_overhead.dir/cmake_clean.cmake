@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kard_overhead.dir/kard_overhead.cc.o"
+  "CMakeFiles/kard_overhead.dir/kard_overhead.cc.o.d"
+  "kard_overhead"
+  "kard_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kard_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_unlimited.dir/scaling_unlimited.cc.o"
+  "CMakeFiles/scaling_unlimited.dir/scaling_unlimited.cc.o.d"
+  "scaling_unlimited"
+  "scaling_unlimited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_unlimited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_sandbox.dir/tab2_sandbox.cc.o"
+  "CMakeFiles/tab2_sandbox.dir/tab2_sandbox.cc.o.d"
+  "tab2_sandbox"
+  "tab2_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_micro_ops.dir/tab3_micro_ops.cc.o"
+  "CMakeFiles/tab3_micro_ops.dir/tab3_micro_ops.cc.o.d"
+  "tab3_micro_ops"
+  "tab3_micro_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_micro_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

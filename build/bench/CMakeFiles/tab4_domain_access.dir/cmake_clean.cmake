@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_domain_access.dir/tab4_domain_access.cc.o"
+  "CMakeFiles/tab4_domain_access.dir/tab4_domain_access.cc.o.d"
+  "tab4_domain_access"
+  "tab4_domain_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_domain_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_memsync.dir/tab5_memsync.cc.o"
+  "CMakeFiles/tab5_memsync.dir/tab5_memsync.cc.o.d"
+  "tab5_memsync"
+  "tab5_memsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_memsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_unixbench.dir/tab_unixbench.cc.o"
+  "CMakeFiles/tab_unixbench.dir/tab_unixbench.cc.o.d"
+  "tab_unixbench"
+  "tab_unixbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_unixbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

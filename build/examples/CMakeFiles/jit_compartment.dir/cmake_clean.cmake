@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_compartment.dir/jit_compartment.cpp.o"
+  "CMakeFiles/jit_compartment.dir/jit_compartment.cpp.o.d"
+  "jit_compartment"
+  "jit_compartment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_compartment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

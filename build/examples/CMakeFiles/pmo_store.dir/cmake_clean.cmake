@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmo_store.dir/pmo_store.cpp.o"
+  "CMakeFiles/pmo_store.dir/pmo_store.cpp.o.d"
+  "pmo_store"
+  "pmo_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmo_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

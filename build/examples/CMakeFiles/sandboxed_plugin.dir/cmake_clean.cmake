@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandboxed_plugin.dir/sandboxed_plugin.cpp.o"
+  "CMakeFiles/sandboxed_plugin.dir/sandboxed_plugin.cpp.o.d"
+  "sandboxed_plugin"
+  "sandboxed_plugin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandboxed_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secret_vault.dir/secret_vault.cpp.o"
+  "CMakeFiles/secret_vault.dir/secret_vault.cpp.o.d"
+  "secret_vault"
+  "secret_vault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secret_vault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_stacks.dir/thread_stacks.cpp.o"
+  "CMakeFiles/thread_stacks.dir/thread_stacks.cpp.o.d"
+  "thread_stacks"
+  "thread_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

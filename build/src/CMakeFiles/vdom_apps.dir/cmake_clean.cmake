@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdom_apps.dir/apps/httpd.cc.o"
+  "CMakeFiles/vdom_apps.dir/apps/httpd.cc.o.d"
+  "CMakeFiles/vdom_apps.dir/apps/mysql.cc.o"
+  "CMakeFiles/vdom_apps.dir/apps/mysql.cc.o.d"
+  "CMakeFiles/vdom_apps.dir/apps/pmo.cc.o"
+  "CMakeFiles/vdom_apps.dir/apps/pmo.cc.o.d"
+  "CMakeFiles/vdom_apps.dir/apps/strategy.cc.o"
+  "CMakeFiles/vdom_apps.dir/apps/strategy.cc.o.d"
+  "libvdom_apps.a"
+  "libvdom_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdom_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

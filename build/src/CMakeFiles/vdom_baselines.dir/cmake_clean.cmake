@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdom_baselines.dir/baselines/libmpk.cc.o"
+  "CMakeFiles/vdom_baselines.dir/baselines/libmpk.cc.o.d"
+  "libvdom_baselines.a"
+  "libvdom_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdom_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

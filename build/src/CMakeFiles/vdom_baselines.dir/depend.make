@@ -1,0 +1,2 @@
+# Empty dependencies file for vdom_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vdom/api.cc" "src/CMakeFiles/vdom_core.dir/vdom/api.cc.o" "gcc" "src/CMakeFiles/vdom_core.dir/vdom/api.cc.o.d"
+  "/root/repo/src/vdom/callgate.cc" "src/CMakeFiles/vdom_core.dir/vdom/callgate.cc.o" "gcc" "src/CMakeFiles/vdom_core.dir/vdom/callgate.cc.o.d"
+  "/root/repo/src/vdom/introspect.cc" "src/CMakeFiles/vdom_core.dir/vdom/introspect.cc.o" "gcc" "src/CMakeFiles/vdom_core.dir/vdom/introspect.cc.o.d"
+  "/root/repo/src/vdom/sandbox.cc" "src/CMakeFiles/vdom_core.dir/vdom/sandbox.cc.o" "gcc" "src/CMakeFiles/vdom_core.dir/vdom/sandbox.cc.o.d"
+  "/root/repo/src/vdom/secure_alloc.cc" "src/CMakeFiles/vdom_core.dir/vdom/secure_alloc.cc.o" "gcc" "src/CMakeFiles/vdom_core.dir/vdom/secure_alloc.cc.o.d"
+  "/root/repo/src/vdom/virt_algo.cc" "src/CMakeFiles/vdom_core.dir/vdom/virt_algo.cc.o" "gcc" "src/CMakeFiles/vdom_core.dir/vdom/virt_algo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdom_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdom_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdom_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

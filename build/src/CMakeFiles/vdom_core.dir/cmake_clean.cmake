@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdom_core.dir/vdom/api.cc.o"
+  "CMakeFiles/vdom_core.dir/vdom/api.cc.o.d"
+  "CMakeFiles/vdom_core.dir/vdom/callgate.cc.o"
+  "CMakeFiles/vdom_core.dir/vdom/callgate.cc.o.d"
+  "CMakeFiles/vdom_core.dir/vdom/introspect.cc.o"
+  "CMakeFiles/vdom_core.dir/vdom/introspect.cc.o.d"
+  "CMakeFiles/vdom_core.dir/vdom/sandbox.cc.o"
+  "CMakeFiles/vdom_core.dir/vdom/sandbox.cc.o.d"
+  "CMakeFiles/vdom_core.dir/vdom/secure_alloc.cc.o"
+  "CMakeFiles/vdom_core.dir/vdom/secure_alloc.cc.o.d"
+  "CMakeFiles/vdom_core.dir/vdom/virt_algo.cc.o"
+  "CMakeFiles/vdom_core.dir/vdom/virt_algo.cc.o.d"
+  "libvdom_core.a"
+  "libvdom_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdom_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

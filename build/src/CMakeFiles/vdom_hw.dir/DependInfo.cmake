@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/arch.cc" "src/CMakeFiles/vdom_hw.dir/hw/arch.cc.o" "gcc" "src/CMakeFiles/vdom_hw.dir/hw/arch.cc.o.d"
+  "/root/repo/src/hw/mmu.cc" "src/CMakeFiles/vdom_hw.dir/hw/mmu.cc.o" "gcc" "src/CMakeFiles/vdom_hw.dir/hw/mmu.cc.o.d"
+  "/root/repo/src/hw/page_table.cc" "src/CMakeFiles/vdom_hw.dir/hw/page_table.cc.o" "gcc" "src/CMakeFiles/vdom_hw.dir/hw/page_table.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/CMakeFiles/vdom_hw.dir/hw/tlb.cc.o" "gcc" "src/CMakeFiles/vdom_hw.dir/hw/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

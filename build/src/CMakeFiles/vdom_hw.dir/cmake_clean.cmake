@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdom_hw.dir/hw/arch.cc.o"
+  "CMakeFiles/vdom_hw.dir/hw/arch.cc.o.d"
+  "CMakeFiles/vdom_hw.dir/hw/mmu.cc.o"
+  "CMakeFiles/vdom_hw.dir/hw/mmu.cc.o.d"
+  "CMakeFiles/vdom_hw.dir/hw/page_table.cc.o"
+  "CMakeFiles/vdom_hw.dir/hw/page_table.cc.o.d"
+  "CMakeFiles/vdom_hw.dir/hw/tlb.cc.o"
+  "CMakeFiles/vdom_hw.dir/hw/tlb.cc.o.d"
+  "libvdom_hw.a"
+  "libvdom_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdom_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

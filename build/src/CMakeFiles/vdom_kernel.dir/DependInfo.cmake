@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/asid.cc" "src/CMakeFiles/vdom_kernel.dir/kernel/asid.cc.o" "gcc" "src/CMakeFiles/vdom_kernel.dir/kernel/asid.cc.o.d"
+  "/root/repo/src/kernel/mm.cc" "src/CMakeFiles/vdom_kernel.dir/kernel/mm.cc.o" "gcc" "src/CMakeFiles/vdom_kernel.dir/kernel/mm.cc.o.d"
+  "/root/repo/src/kernel/vds.cc" "src/CMakeFiles/vdom_kernel.dir/kernel/vds.cc.o" "gcc" "src/CMakeFiles/vdom_kernel.dir/kernel/vds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdom_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdom_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

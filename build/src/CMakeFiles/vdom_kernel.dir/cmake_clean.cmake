@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdom_kernel.dir/kernel/asid.cc.o"
+  "CMakeFiles/vdom_kernel.dir/kernel/asid.cc.o.d"
+  "CMakeFiles/vdom_kernel.dir/kernel/mm.cc.o"
+  "CMakeFiles/vdom_kernel.dir/kernel/mm.cc.o.d"
+  "CMakeFiles/vdom_kernel.dir/kernel/vds.cc.o"
+  "CMakeFiles/vdom_kernel.dir/kernel/vds.cc.o.d"
+  "libvdom_kernel.a"
+  "libvdom_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdom_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdom_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/vdom_sim.dir/sim/trace.cc.o.d"
+  "libvdom_sim.a"
+  "libvdom_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdom_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvdom_sim.a"
+)

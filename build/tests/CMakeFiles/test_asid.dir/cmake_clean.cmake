@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asid.dir/test_asid.cc.o"
+  "CMakeFiles/test_asid.dir/test_asid.cc.o.d"
+  "test_asid"
+  "test_asid.pdb"
+  "test_asid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

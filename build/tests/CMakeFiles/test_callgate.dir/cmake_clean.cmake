@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_callgate.dir/test_callgate.cc.o"
+  "CMakeFiles/test_callgate.dir/test_callgate.cc.o.d"
+  "test_callgate"
+  "test_callgate.pdb"
+  "test_callgate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_callgate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compartment.dir/test_compartment.cc.o"
+  "CMakeFiles/test_compartment.dir/test_compartment.cc.o.d"
+  "test_compartment"
+  "test_compartment.pdb"
+  "test_compartment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compartment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_machine.dir/test_core_machine.cc.o"
+  "CMakeFiles/test_core_machine.dir/test_core_machine.cc.o.d"
+  "test_core_machine"
+  "test_core_machine.pdb"
+  "test_core_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epk.dir/test_epk.cc.o"
+  "CMakeFiles/test_epk.dir/test_epk.cc.o.d"
+  "test_epk"
+  "test_epk.pdb"
+  "test_epk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

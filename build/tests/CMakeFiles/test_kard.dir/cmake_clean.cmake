@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kard.dir/test_kard.cc.o"
+  "CMakeFiles/test_kard.dir/test_kard.cc.o.d"
+  "test_kard"
+  "test_kard.pdb"
+  "test_kard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_libmpk.cc" "tests/CMakeFiles/test_libmpk.dir/test_libmpk.cc.o" "gcc" "tests/CMakeFiles/test_libmpk.dir/test_libmpk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdom_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdom_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdom_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdom_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdom_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdom_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

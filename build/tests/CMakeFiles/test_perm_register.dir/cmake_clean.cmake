@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perm_register.dir/test_perm_register.cc.o"
+  "CMakeFiles/test_perm_register.dir/test_perm_register.cc.o.d"
+  "test_perm_register"
+  "test_perm_register.pdb"
+  "test_perm_register[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perm_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reclaim.dir/test_reclaim.cc.o"
+  "CMakeFiles/test_reclaim.dir/test_reclaim.cc.o.d"
+  "test_reclaim"
+  "test_reclaim.pdb"
+  "test_reclaim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refcounts.dir/test_refcounts.cc.o"
+  "CMakeFiles/test_refcounts.dir/test_refcounts.cc.o.d"
+  "test_refcounts"
+  "test_refcounts.pdb"
+  "test_refcounts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

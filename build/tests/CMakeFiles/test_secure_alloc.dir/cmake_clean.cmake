@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secure_alloc.dir/test_secure_alloc.cc.o"
+  "CMakeFiles/test_secure_alloc.dir/test_secure_alloc.cc.o.d"
+  "test_secure_alloc"
+  "test_secure_alloc.pdb"
+  "test_secure_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secure_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

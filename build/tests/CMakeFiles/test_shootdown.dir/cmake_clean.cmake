@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shootdown.dir/test_shootdown.cc.o"
+  "CMakeFiles/test_shootdown.dir/test_shootdown.cc.o.d"
+  "test_shootdown"
+  "test_shootdown.pdb"
+  "test_shootdown[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shootdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlb_pressure.dir/test_tlb_pressure.cc.o"
+  "CMakeFiles/test_tlb_pressure.dir/test_tlb_pressure.cc.o.d"
+  "test_tlb_pressure"
+  "test_tlb_pressure.pdb"
+  "test_tlb_pressure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlb_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vdm.dir/test_vdm.cc.o"
+  "CMakeFiles/test_vdm.dir/test_vdm.cc.o.d"
+  "test_vdm"
+  "test_vdm.pdb"
+  "test_vdm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

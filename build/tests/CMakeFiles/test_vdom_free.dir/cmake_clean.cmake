@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vdom_free.dir/test_vdom_free.cc.o"
+  "CMakeFiles/test_vdom_free.dir/test_vdom_free.cc.o.d"
+  "test_vdom_free"
+  "test_vdom_free.pdb"
+  "test_vdom_free[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vdom_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vdr.dir/test_vdr.cc.o"
+  "CMakeFiles/test_vdr.dir/test_vdr.cc.o.d"
+  "test_vdr"
+  "test_vdr.pdb"
+  "test_vdr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

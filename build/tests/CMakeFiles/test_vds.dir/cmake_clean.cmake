@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vds.dir/test_vds.cc.o"
+  "CMakeFiles/test_vds.dir/test_vds.cc.o.d"
+  "test_vds"
+  "test_vds.pdb"
+  "test_vds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

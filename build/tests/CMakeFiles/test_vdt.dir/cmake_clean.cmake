@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vdt.dir/test_vdt.cc.o"
+  "CMakeFiles/test_vdt.dir/test_vdt.cc.o.d"
+  "test_vdt"
+  "test_vdt.pdb"
+  "test_vdt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

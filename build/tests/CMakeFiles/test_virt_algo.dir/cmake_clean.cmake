@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virt_algo.dir/test_virt_algo.cc.o"
+  "CMakeFiles/test_virt_algo.dir/test_virt_algo.cc.o.d"
+  "test_virt_algo"
+  "test_virt_algo.pdb"
+  "test_virt_algo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virt_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
