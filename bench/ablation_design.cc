@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "apps/pmo.h"
@@ -27,8 +28,12 @@ namespace {
 
 double
 run_pmo_with(hw::DesignKnobs knobs, std::size_t nas, std::size_t threads,
-             std::size_t ops)
+             std::size_t ops, telemetry::MetricsRegistry *registry = nullptr,
+             hw::CycleBreakdown *breakdown_out = nullptr)
 {
+    std::optional<telemetry::ScopedMetrics> attach;
+    if (registry)
+        attach.emplace(*registry);
     hw::ArchParams params = hw::ArchParams::x86(10);
     params.knobs = knobs;
     BenchWorld world(params);
@@ -39,11 +44,34 @@ run_pmo_with(hw::DesignKnobs knobs, std::size_t nas, std::size_t threads,
     cfg.ops_per_thread = ops;
     apps::PmoResult r =
         apps::run_pmo(world.machine, world.proc, strat, cfg);
+    if (breakdown_out)
+        *breakdown_out = r.breakdown;
     return r.elapsed;
 }
 
+/// Records one ablation row under --json.
 void
-run(std::size_t ops)
+record_ablation(BenchReport &report, const std::string &ablation,
+                const std::string &workload, double base, double ablated,
+                const telemetry::MetricsRegistry &registry,
+                const hw::CycleBreakdown &ablated_bd)
+{
+    if (!report.enabled())
+        return;
+    report.add()
+        .config("ablation", ablation)
+        .config("workload", workload)
+        .metric("base_cycles", base)
+        .metric("ablated_cycles", ablated)
+        .metric("slowdown", ablated / base)
+        .metrics_from(registry)
+        .breakdown(ablated_bd)
+        .percentiles_from(
+            registry.histogram(telemetry::Metric::kWrvdrLatency));
+}
+
+void
+run(std::size_t ops, BenchReport &report)
 {
     sim::Table table(
         "Ablation: disable one design choice at a time "
@@ -81,7 +109,16 @@ run(std::size_t ops)
             return core.now() - t0;
         };
         double base = hot_switching(true);
-        double ablated = hot_switching(false);
+        telemetry::MetricsRegistry registry(2);
+        double ablated;
+        {
+            std::optional<telemetry::ScopedMetrics> attach;
+            if (report.enabled())
+                attach.emplace(registry);
+            ablated = hot_switching(false);
+        }
+        record_ablation(report, "asid", "hot 28-domain sweep", base,
+                        ablated, registry, hw::CycleBreakdown{});
         table.row({"ASID-tagged TLB (flush every pgd switch)",
                    "hot 28-domain sweep across 2 VDSes",
                    ratio(ablated / base)});
@@ -89,24 +126,42 @@ run(std::size_t ops)
     {
         hw::DesignKnobs off;
         off.pmd_fast_path = false;
+        telemetry::MetricsRegistry registry(10);
+        hw::CycleBreakdown bd;
         double base = run_pmo_with(hw::DesignKnobs{}, 1, 1, ops);
-        double ablated = run_pmo_with(off, 1, 1, ops);
+        double ablated =
+            run_pmo_with(off, 1, 1, ops,
+                         report.enabled() ? &registry : nullptr, &bd);
+        record_ablation(report, "pmd_fast_path", "PMO 1 thread eviction",
+                        base, ablated, registry, bd);
         table.row({"PMD fast path (per-PTE 2MB evictions)",
                    "PMO 1 thread, eviction mode", ratio(ablated / base)});
     }
     {
         hw::DesignKnobs off;
         off.hlru = false;
+        telemetry::MetricsRegistry registry(10);
+        hw::CycleBreakdown bd;
         double base = run_pmo_with(hw::DesignKnobs{}, 1, 1, ops);
-        double ablated = run_pmo_with(off, 1, 1, ops);
+        double ablated =
+            run_pmo_with(off, 1, 1, ops,
+                         report.enabled() ? &registry : nullptr, &bd);
+        record_ablation(report, "hlru", "PMO 1 thread eviction", base,
+                        ablated, registry, bd);
         table.row({"HLRU remap-to-same-pdom (strict LRU)",
                    "PMO 1 thread, eviction mode", ratio(ablated / base)});
     }
     {
         hw::DesignKnobs off;
         off.narrow_shootdown = false;
+        telemetry::MetricsRegistry registry(10);
+        hw::CycleBreakdown bd;
         double base = run_pmo_with(hw::DesignKnobs{}, 1, 8, ops);
-        double ablated = run_pmo_with(off, 1, 8, ops);
+        double ablated =
+            run_pmo_with(off, 1, 8, ops,
+                         report.enabled() ? &registry : nullptr, &bd);
+        record_ablation(report, "narrow_shootdown", "PMO 8 threads eviction",
+                        base, ablated, registry, bd);
         table.row({"CPU-bitmap shootdown narrowing (broadcast IPIs)",
                    "PMO 8 threads, eviction mode", ratio(ablated / base)});
     }
@@ -123,6 +178,9 @@ run(std::size_t ops)
 int
 main(int argc, char **argv)
 {
-    vdom::bench::run(vdom::bench::quick_mode(argc, argv) ? 5'000 : 30'000);
+    vdom::bench::BenchReport report("ablation_design", argc, argv);
+    vdom::bench::run(vdom::bench::quick_mode(argc, argv) ? 5'000 : 30'000,
+                     report);
+    report.write();
     return 0;
 }

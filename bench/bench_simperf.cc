@@ -153,7 +153,62 @@ BM_PmoWorkloadStep(benchmark::State &state)
 }
 BENCHMARK(BM_PmoWorkloadStep)->Unit(benchmark::kMillisecond);
 
+/// ConsoleReporter that also mirrors every run into the --json report
+/// (real/cpu nanoseconds per iteration, matching the schema of the
+/// simulated-cycle benches).
+class RecordingReporter : public benchmark::ConsoleReporter {
+  public:
+    explicit RecordingReporter(BenchReport &report) : report_(&report) {}
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred || run.iterations == 0)
+                continue;
+            double iters = static_cast<double>(run.iterations);
+            report_->add()
+                .config("case", run.benchmark_name())
+                .metric("real_time_ns_per_iter",
+                        run.real_accumulated_time / iters * 1e9)
+                .metric("cpu_time_ns_per_iter",
+                        run.cpu_accumulated_time / iters * 1e9)
+                .metric("iterations", iters);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    BenchReport *report_;
+};
+
 }  // namespace
 }  // namespace vdom::bench
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    vdom::bench::BenchReport report("bench_simperf", argc, argv);
+    // Strip the flags google-benchmark does not recognize before
+    // Initialize sees them.
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            ++i;  // Skip the path operand too.
+            continue;
+        }
+        if (arg == "--quick")
+            continue;
+        args.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    vdom::bench::RecordingReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    report.write();
+    return 0;
+}

@@ -7,13 +7,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hw/machine.h"
 #include "kernel/process.h"
 #include "sim/table.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
 #include "vdom/api.h"
 
 namespace vdom::bench {
@@ -66,5 +70,161 @@ ratio(double value)
 {
     return sim::Table::num(value, 2) + "x";
 }
+
+/// Value of `--flag <value>` in argv, or "" when absent.
+inline std::string
+arg_value(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    return "";
+}
+
+/// One machine-readable measurement: the schema every bench emits under
+/// --json (see scripts/check_bench_json.py):
+///   {bench, config{...}, metrics{...}, breakdown{...},
+///    percentiles{p50,p90,p99}}
+class BenchRecord {
+  public:
+    BenchRecord &
+    config(const std::string &key, const std::string &value)
+    {
+        config_.emplace_back(key, telemetry::JsonWriter::escape(value));
+        return *this;
+    }
+
+    BenchRecord &
+    config(const std::string &key, std::uint64_t value)
+    {
+        config_.emplace_back(key, std::to_string(value));
+        return *this;
+    }
+
+    BenchRecord &
+    metric(const std::string &key, double value)
+    {
+        metrics_.emplace_back(key, value);
+        return *this;
+    }
+
+    /// Pulls every non-zero merged counter/gauge out of \p registry into
+    /// the metrics map (prefixed names, e.g. "tlb.miss").
+    BenchRecord &
+    metrics_from(const telemetry::MetricsRegistry &registry)
+    {
+        for (const auto &sample : registry.snapshot())
+            metrics_.emplace_back(sample.name,
+                                  static_cast<double>(sample.value));
+        return *this;
+    }
+
+    BenchRecord &
+    breakdown(const hw::CycleBreakdown &b)
+    {
+        breakdown_ = b;
+        return *this;
+    }
+
+    BenchRecord &
+    percentiles(double p50, double p90, double p99)
+    {
+        p50_ = p50;
+        p90_ = p90;
+        p99_ = p99;
+        return *this;
+    }
+
+    BenchRecord &
+    percentiles_from(const telemetry::Histogram &hist)
+    {
+        return percentiles(static_cast<double>(hist.percentile(0.50)),
+                           static_cast<double>(hist.percentile(0.90)),
+                           static_cast<double>(hist.percentile(0.99)));
+    }
+
+  private:
+    friend class BenchReport;
+    std::vector<std::pair<std::string, std::string>> config_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    hw::CycleBreakdown breakdown_;
+    double p50_ = 0, p90_ = 0, p99_ = 0;
+};
+
+/// Collects BenchRecords and writes them as a JSON array when the bench
+/// was invoked with `--json <path>`.  With no --json flag everything is a
+/// no-op, so benches can record unconditionally.
+class BenchReport {
+  public:
+    BenchReport(std::string bench, int argc, char **argv)
+        : bench_(std::move(bench)), path_(arg_value(argc, argv, "--json"))
+    {
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /// Appends and returns a fresh record.
+    BenchRecord &
+    add()
+    {
+        records_.emplace_back();
+        return records_.back();
+    }
+
+    /// Writes the JSON array; prints a note so runs are self-describing.
+    /// Returns false when disabled or the file cannot be opened.
+    bool
+    write() const
+    {
+        if (!enabled())
+            return false;
+        std::ofstream out(path_);
+        if (!out) {
+            std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+            return false;
+        }
+        telemetry::JsonWriter w(out);
+        w.begin_array();
+        for (const BenchRecord &rec : records_)
+            write_record(w, rec);
+        w.end_array();
+        out << "\n";
+        std::fprintf(stderr, "bench: wrote %zu record(s) to %s\n",
+                     records_.size(), path_.c_str());
+        return true;
+    }
+
+  private:
+    void
+    write_record(telemetry::JsonWriter &w, const BenchRecord &rec) const
+    {
+        w.begin_object();
+        w.key("bench").value(bench_);
+        w.key("config").begin_object();
+        for (const auto &[k, pre_rendered] : rec.config_)
+            w.key(k).raw(pre_rendered);
+        w.end_object();
+        w.key("metrics").begin_object();
+        for (const auto &[k, v] : rec.metrics_)
+            w.key(k).value(v);
+        w.end_object();
+        w.key("breakdown").begin_object();
+        for (std::size_t i = 0; i < hw::kNumCostKinds; ++i) {
+            w.key(hw::cost_kind_name(static_cast<hw::CostKind>(i)))
+                .value(static_cast<std::uint64_t>(rec.breakdown_.by_kind[i]));
+        }
+        w.end_object();
+        w.key("percentiles").begin_object();
+        w.key("p50").value(rec.p50_);
+        w.key("p90").value(rec.p90_);
+        w.key("p99").value(rec.p99_);
+        w.end_object();
+        w.end_object();
+    }
+
+    std::string bench_;
+    std::string path_;
+    std::vector<BenchRecord> records_;
+};
 
 }  // namespace vdom::bench

@@ -8,6 +8,7 @@
 /// management — the two root causes VDom's design removes.
 
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "apps/httpd.h"
@@ -26,7 +27,8 @@ struct Breakdown {
 };
 
 Breakdown
-measure(std::size_t clients, std::size_t requests, std::size_t cores)
+measure(std::size_t clients, std::size_t requests, std::size_t cores,
+        BenchReport *report)
 {
     // Unprotected baseline.
     apps::HttpdConfig cfg =
@@ -43,12 +45,30 @@ measure(std::size_t clients, std::size_t requests, std::size_t cores)
     mpk_world.sys.vdom_init(mpk_world.core(0));
     baselines::LibMpk mpk(mpk_world.proc);
     apps::LibmpkStrategy strat(mpk_world.proc, mpk);
+    telemetry::MetricsRegistry registry(cores);
+    std::optional<telemetry::ScopedMetrics> attach;
+    if (report && report->enabled())
+        attach.emplace(registry);
     apps::HttpdResult prot =
         run_httpd(mpk_world.machine, mpk_world.proc, strat, cfg);
+    attach.reset();
 
     // Overhead fractions relative to the baseline's useful time, scaled
     // by the throughput loss so the wedges add up to the slowdown.
     double slowdown = base.requests_per_sec / prot.requests_per_sec - 1.0;
+    if (report && report->enabled()) {
+        report->add()
+            .config("clients", clients)
+            .config("requests", requests)
+            .config("cores", cores)
+            .metric("base_requests_per_sec", base.requests_per_sec)
+            .metric("libmpk_requests_per_sec", prot.requests_per_sec)
+            .metric("slowdown", slowdown)
+            .metrics_from(registry)
+            .breakdown(prot.breakdown)
+            .percentiles_from(
+                registry.histogram(telemetry::Metric::kWrvdrLatency));
+    }
     const hw::CycleBreakdown &b = prot.breakdown;
     double busy = b.get(hw::CostKind::kBusyWait);
     double shoot = b.get(hw::CostKind::kShootdown) +
@@ -70,7 +90,7 @@ measure(std::size_t clients, std::size_t requests, std::size_t cores)
 }
 
 void
-run(std::size_t requests, std::size_t cores)
+run(std::size_t requests, std::size_t cores, BenchReport &report)
 {
     const std::vector<std::size_t> clients = {4, 8, 12, 16, 20, 24, 28, 32};
     sim::Table table(
@@ -79,7 +99,7 @@ run(std::size_t requests, std::size_t cores)
     table.columns({"clients", "busy waiting", "TLB shootdown",
                    "memory+metadata mgmt", "total overhead"});
     for (std::size_t c : clients) {
-        Breakdown b = measure(c, requests, cores);
+        Breakdown b = measure(c, requests, cores, &report);
         table.row({std::to_string(c), sim::Table::pct(b.busy_wait),
                    sim::Table::pct(b.shootdown),
                    sim::Table::pct(b.management),
@@ -101,6 +121,8 @@ int
 main(int argc, char **argv)
 {
     bool quick = vdom::bench::quick_mode(argc, argv);
-    vdom::bench::run(quick ? 300 : 1500, quick ? 16 : 26);
+    vdom::bench::BenchReport report("fig1_libmpk_breakdown", argc, argv);
+    vdom::bench::run(quick ? 300 : 1500, quick ? 16 : 26, report);
+    report.write();
     return 0;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,13 +17,16 @@
 #include "baselines/epk.h"
 #include "baselines/libmpk.h"
 #include "bench_util.h"
+#include "telemetry/span.h"
+#include "telemetry/trace_export.h"
 
 namespace vdom::bench {
 namespace {
 
 double
 run_one(hw::ArchKind arch, const std::string &kind, std::size_t cores,
-        std::size_t clients, std::size_t file_kb, std::size_t requests)
+        std::size_t clients, std::size_t file_kb, std::size_t requests,
+        BenchReport *report)
 {
     BenchWorld world(arch == hw::ArchKind::kX86 ? hw::ArchParams::x86(cores)
                                                 : hw::ArchParams::arm(cores));
@@ -47,13 +51,53 @@ run_one(hw::ArchKind arch, const std::string &kind, std::size_t cores,
         apps::HttpdConfig::for_arch(arch, clients, file_kb);
     cfg.workers = 40;
     cfg.total_requests = requests;
+    telemetry::MetricsRegistry registry(cores);
+    std::optional<telemetry::ScopedMetrics> attach;
+    if (report && report->enabled())
+        attach.emplace(registry);
     apps::HttpdResult r =
         apps::run_httpd(world.machine, world.proc, *strat, cfg);
+    if (report && report->enabled()) {
+        report->add()
+            .config("arch", hw::arch_name(arch))
+            .config("kind", kind)
+            .config("cores", cores)
+            .config("clients", clients)
+            .config("file_kb", file_kb)
+            .config("requests", requests)
+            .metric("requests_per_sec", r.requests_per_sec)
+            .metric("completed", static_cast<double>(r.completed))
+            .metric("vdoms_allocated",
+                    static_cast<double>(r.vdoms_allocated))
+            .metric("elapsed_cycles", static_cast<double>(r.elapsed))
+            .metrics_from(registry)
+            .breakdown(r.breakdown)
+            .percentiles_from(
+                registry.histogram(telemetry::Metric::kWrvdrLatency));
+    }
     return r.requests_per_sec;
 }
 
+/// Records one instrumented VDom run and exports it as Chrome-trace JSON
+/// (open in chrome://tracing or ui.perfetto.dev).
 void
-run(std::size_t requests, bool quick)
+export_trace(const std::string &path, std::size_t requests)
+{
+    telemetry::SpanTracer spans;
+    telemetry::MetricsRegistry registry(8);
+    {
+        telemetry::ScopedSpanTrace attach_spans(spans);
+        telemetry::ScopedMetrics attach_metrics(registry);
+        run_one(hw::ArchKind::kX86, "VDom", 8, 16, 1, requests, nullptr);
+    }
+    if (telemetry::export_chrome_trace(path, spans, &registry)) {
+        std::fprintf(stderr, "bench: wrote %zu span events to %s\n",
+                     spans.events().size(), path.c_str());
+    }
+}
+
+void
+run(std::size_t requests, bool quick, BenchReport &report)
 {
     struct Panel {
         hw::ArchKind arch;
@@ -93,7 +137,7 @@ run(std::size_t requests, bool quick)
             double base = 0, vdom = 0;
             for (const std::string &k : kinds) {
                 double rps = run_one(panel.arch, k, panel.cores, c,
-                                     panel.file_kb, reqs);
+                                     panel.file_kb, reqs, &report);
                 if (k == "original")
                     base = rps;
                 if (k == "VDom")
@@ -121,6 +165,11 @@ int
 main(int argc, char **argv)
 {
     bool quick = vdom::bench::quick_mode(argc, argv);
-    vdom::bench::run(quick ? 800 : 4000, quick);
+    vdom::bench::BenchReport report("fig5_httpd", argc, argv);
+    vdom::bench::run(quick ? 800 : 4000, quick, report);
+    report.write();
+    std::string trace = vdom::bench::arg_value(argc, argv, "--trace");
+    if (!trace.empty())
+        vdom::bench::export_trace(trace, quick ? 200 : 1000);
     return 0;
 }

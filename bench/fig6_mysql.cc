@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,7 +22,7 @@ namespace {
 
 double
 run_one(hw::ArchKind arch, const std::string &kind, std::size_t cores,
-        std::size_t connections, std::size_t queries)
+        std::size_t connections, std::size_t queries, BenchReport *report)
 {
     BenchWorld world(arch == hw::ArchKind::kX86 ? hw::ArchParams::x86(cores)
                                                 : hw::ArchParams::arm(cores));
@@ -44,13 +45,31 @@ run_one(hw::ArchKind arch, const std::string &kind, std::size_t cores,
     // Fixed-duration steady-state measurement (sysbench-style): queries
     // here sets the target duration in query-equivalents.
     cfg.duration = static_cast<hw::Cycles>(queries) * 1'000'000.0;
+    telemetry::MetricsRegistry registry(cores);
+    std::optional<telemetry::ScopedMetrics> attach;
+    if (report && report->enabled())
+        attach.emplace(registry);
     apps::MysqlResult r =
         apps::run_mysql(world.machine, world.proc, *strat, cfg);
+    if (report && report->enabled()) {
+        report->add()
+            .config("arch", hw::arch_name(arch))
+            .config("kind", kind)
+            .config("cores", cores)
+            .config("connections", connections)
+            .metric("queries_per_sec", r.queries_per_sec)
+            .metric("completed", static_cast<double>(r.completed))
+            .metric("elapsed_cycles", static_cast<double>(r.elapsed))
+            .metrics_from(registry)
+            .breakdown(r.breakdown)
+            .percentiles_from(
+                registry.histogram(telemetry::Metric::kWrvdrLatency));
+    }
     return r.queries_per_sec;
 }
 
 void
-run(std::size_t queries, bool quick)
+run(std::size_t queries, bool quick, BenchReport &report)
 {
     const std::vector<std::string> kinds = {"original", "VDom", "EPK",
                                             "libmpk"};
@@ -82,7 +101,8 @@ run(std::size_t queries, bool quick)
             std::vector<std::string> row = {std::to_string(c)};
             double base = 0, vdom = 0;
             for (const std::string &k : kinds) {
-                double qps = run_one(panel.arch, k, panel.cores, c, q);
+                double qps = run_one(panel.arch, k, panel.cores, c, q,
+                                     &report);
                 if (k == "original")
                     base = qps;
                 if (k == "VDom")
@@ -111,6 +131,8 @@ int
 main(int argc, char **argv)
 {
     bool quick = vdom::bench::quick_mode(argc, argv);
-    vdom::bench::run(quick ? 600 : 3000, quick);
+    vdom::bench::BenchReport report("fig6_mysql", argc, argv);
+    vdom::bench::run(quick ? 600 : 3000, quick, report);
+    report.write();
     return 0;
 }

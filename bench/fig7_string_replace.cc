@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,7 +26,7 @@ namespace {
 
 double
 run_one(hw::ArchKind arch, const std::string &kind, std::size_t cores,
-        std::size_t threads, std::size_t ops)
+        std::size_t threads, std::size_t ops, BenchReport *report)
 {
     BenchWorld world(arch == hw::ArchKind::kX86 ? hw::ArchParams::x86(cores)
                                                 : hw::ArchParams::arm(cores));
@@ -52,7 +53,26 @@ run_one(hw::ArchKind arch, const std::string &kind, std::size_t cores,
     apps::PmoConfig cfg = apps::PmoConfig::for_arch(arch, threads);
     cfg.ops_per_thread = ops;
     cfg.huge_pages = huge;
+    telemetry::MetricsRegistry registry(cores);
+    std::optional<telemetry::ScopedMetrics> attach;
+    if (report && report->enabled())
+        attach.emplace(registry);
     apps::PmoResult r = apps::run_pmo(world.machine, world.proc, *strat, cfg);
+    if (report && report->enabled()) {
+        report->add()
+            .config("arch", hw::arch_name(arch))
+            .config("kind", kind)
+            .config("cores", cores)
+            .config("threads", threads)
+            .config("ops", ops)
+            .metric("elapsed_cycles", static_cast<double>(r.elapsed))
+            .metric("ops_per_sec", r.ops_per_sec)
+            .metric("cycles_per_op", r.cycles_per_op)
+            .metrics_from(registry)
+            .breakdown(r.breakdown)
+            .percentiles_from(
+                registry.histogram(telemetry::Metric::kWrvdrLatency));
+    }
     return r.elapsed;
 }
 
@@ -66,7 +86,7 @@ log2_cell(double overhead_pct)
 }
 
 void
-run(std::size_t ops, bool quick)
+run(std::size_t ops, bool quick, BenchReport &report)
 {
     (void)quick;
     const std::vector<std::string> kinds = {
@@ -93,7 +113,8 @@ run(std::size_t ops, bool quick)
             header.push_back(k);
         table.columns(header);
         for (std::size_t t : panel.threads) {
-            double base = run_one(panel.arch, "original", panel.cores, t, n);
+            double base = run_one(panel.arch, "original", panel.cores, t, n,
+                                  &report);
             std::vector<std::string> row = {std::to_string(t)};
             for (const std::string &k : kinds) {
                 // EPK on ARM does not exist (no VMFUNC).
@@ -101,7 +122,8 @@ run(std::size_t ops, bool quick)
                     row.push_back("n/a");
                     continue;
                 }
-                double elapsed = run_one(panel.arch, k, panel.cores, t, n);
+                double elapsed = run_one(panel.arch, k, panel.cores, t, n,
+                                         &report);
                 row.push_back(log2_cell((elapsed / base - 1.0) * 100.0));
                 std::fprintf(stderr, ".");
             }
@@ -124,6 +146,8 @@ int
 main(int argc, char **argv)
 {
     bool quick = vdom::bench::quick_mode(argc, argv);
-    vdom::bench::run(quick ? 6'000 : 40'000, quick);
+    vdom::bench::BenchReport report("fig7_string_replace", argc, argv);
+    vdom::bench::run(quick ? 6'000 : 40'000, quick, report);
+    report.write();
     return 0;
 }

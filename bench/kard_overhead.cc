@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "apps/kard.h"
@@ -25,8 +26,13 @@ namespace {
 /// \returns total cycles on the busiest core.
 double
 run_workload(std::size_t objects, std::size_t threads, std::size_t ops,
-             bool detect, double work_cycles)
+             bool detect, double work_cycles,
+             telemetry::MetricsRegistry *registry = nullptr,
+             hw::CycleBreakdown *breakdown_out = nullptr)
 {
+    std::optional<telemetry::ScopedMetrics> attach;
+    if (registry)
+        attach.emplace(*registry);
     BenchWorld world(hw::ArchParams::x86(4));
     world.sys.vdom_init(world.core(0));
     apps::KardDetector kard(world.sys);
@@ -67,11 +73,13 @@ run_workload(std::size_t objects, std::size_t threads, std::size_t ops,
         }
         core.charge(hw::CostKind::kCompute, work_cycles);
     }
+    if (breakdown_out)
+        *breakdown_out = world.machine.total_breakdown();
     return world.machine.total_breakdown().total();
 }
 
 void
-run(std::size_t ops)
+run(std::size_t ops, BenchReport &report)
 {
     const double work = 12'000;  // Critical-section work per op.
     sim::Table table(
@@ -80,8 +88,27 @@ run(std::size_t ops)
     table.columns({"watched objects", "baseline cy/op", "detected cy/op",
                    "overhead"});
     for (std::size_t objects : {8u, 14u, 32u, 128u, 512u}) {
+        telemetry::MetricsRegistry registry(4);
+        hw::CycleBreakdown detected_bd;
+        bool record = report.enabled();
         double base = run_workload(objects, 4, ops, false, work) / ops;
-        double detected = run_workload(objects, 4, ops, true, work) / ops;
+        double detected = run_workload(objects, 4, ops, true, work,
+                                       record ? &registry : nullptr,
+                                       &detected_bd) /
+                          ops;
+        if (record) {
+            report.add()
+                .config("objects", objects)
+                .config("threads", std::uint64_t{4})
+                .config("ops", ops)
+                .metric("baseline_cycles_per_op", base)
+                .metric("detected_cycles_per_op", detected)
+                .metric("overhead", detected / base - 1.0)
+                .metrics_from(registry)
+                .breakdown(detected_bd)
+                .percentiles_from(
+                    registry.histogram(telemetry::Metric::kWrvdrLatency));
+        }
         table.row({std::to_string(objects), sim::Table::num(base, 0),
                    sim::Table::num(detected, 0),
                    sim::Table::pct(detected / base - 1.0)});
@@ -102,6 +129,9 @@ run(std::size_t ops)
 int
 main(int argc, char **argv)
 {
-    vdom::bench::run(vdom::bench::quick_mode(argc, argv) ? 4'000 : 20'000);
+    vdom::bench::BenchReport report("kard_overhead", argc, argv);
+    vdom::bench::run(vdom::bench::quick_mode(argc, argv) ? 4'000 : 20'000,
+                     report);
+    report.write();
     return 0;
 }

@@ -10,6 +10,7 @@
 /// metadata footprint.
 
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench_util.h"
@@ -28,8 +29,12 @@ struct Point {
 };
 
 Point
-measure(std::size_t domains)
+measure(std::size_t domains, BenchReport *report)
 {
+    telemetry::MetricsRegistry registry(2);
+    std::optional<telemetry::ScopedMetrics> attach;
+    if (report && report->enabled())
+        attach.emplace(registry);
     BenchWorld world(hw::ArchParams::x86(2));
     hw::Core &core = world.core(0);
     world.sys.vdom_init(core);
@@ -83,11 +88,24 @@ measure(std::size_t domains)
     IntrospectSummary s = summarize(world.sys);
     point.vdt_leaves = s.vdt_leaves;
     point.vdses = s.vdses;
+    if (report && report->enabled()) {
+        report->add()
+            .config("domains", domains)
+            .metric("alloc_cycles", point.alloc_cycles)
+            .metric("mprotect_cycles", point.mprotect_cycles)
+            .metric("hot_wrvdr_cycles", point.hot_wrvdr_cycles)
+            .metric("vdt_leaves", static_cast<double>(point.vdt_leaves))
+            .metric("vdses", static_cast<double>(point.vdses))
+            .metrics_from(registry)
+            .breakdown(world.machine.total_breakdown())
+            .percentiles_from(
+                registry.histogram(telemetry::Metric::kWrvdrLatency));
+    }
     return point;
 }
 
 void
-run(bool quick)
+run(bool quick, BenchReport &report)
 {
     std::vector<std::size_t> counts = {100, 1'000, 10'000};
     if (!quick)
@@ -97,7 +115,7 @@ run(bool quick)
     table.columns({"live vdoms", "vdom_alloc cy", "vdom_mprotect cy",
                    "hot wrvdr cy", "VDT leaves", "VDSes"});
     for (std::size_t n : counts) {
-        Point p = measure(n);
+        Point p = measure(n, &report);
         table.row({std::to_string(p.domains),
                    sim::Table::num(p.alloc_cycles, 1),
                    sim::Table::num(p.mprotect_cycles, 1),
@@ -121,6 +139,8 @@ run(bool quick)
 int
 main(int argc, char **argv)
 {
-    vdom::bench::run(vdom::bench::quick_mode(argc, argv));
+    vdom::bench::BenchReport report("scaling_unlimited", argc, argv);
+    vdom::bench::run(vdom::bench::quick_mode(argc, argv), report);
+    report.write();
     return 0;
 }

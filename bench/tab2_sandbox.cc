@@ -109,25 +109,38 @@ defense_syscall_filter(hw::ArchKind arch)
 }
 
 void
-run()
+run(BenchReport &report)
 {
+    struct Row {
+        const char *example;
+        const char *type;
+        const char *arch;
+        bool blocked;
+    };
+    std::vector<Row> rows = {
+        {"watchpoint before making PKRU-writing pages executable",
+         "binary scan", "X86", defense_binary_scan()},
+        {"check reconstructed PKRU before switch", "call gate", "X86",
+         defense_call_gate()},
+        {"block unchecked process_vm_readv on protected memory",
+         "syscall filter", "X86",
+         defense_syscall_filter(hw::ArchKind::kX86)},
+        {"block unchecked process_vm_readv on protected memory",
+         "syscall filter", "ARM",
+         defense_syscall_filter(hw::ArchKind::kArm)},
+    };
     sim::Table table("Table 2: ported sandbox defenses (one per class)");
     table.columns({"Example", "Type", "Arch", "Result"});
-    table.row({"watchpoint before making PKRU-writing pages executable",
-               "binary scan", "X86",
-               defense_binary_scan() ? "attack blocked" : "BYPASSED"});
-    table.row({"check reconstructed PKRU before switch", "call gate", "X86",
-               defense_call_gate() ? "attack blocked" : "BYPASSED"});
-    table.row({"block unchecked process_vm_readv on protected memory",
-               "syscall filter", "X86",
-               defense_syscall_filter(hw::ArchKind::kX86)
-                   ? "attack blocked"
-                   : "BYPASSED"});
-    table.row({"block unchecked process_vm_readv on protected memory",
-               "syscall filter", "ARM",
-               defense_syscall_filter(hw::ArchKind::kArm)
-                   ? "attack blocked"
-                   : "BYPASSED"});
+    for (const Row &r : rows) {
+        table.row({r.example, r.type, r.arch,
+                   r.blocked ? "attack blocked" : "BYPASSED"});
+        if (report.enabled()) {
+            report.add()
+                .config("defense", r.type)
+                .config("arch", r.arch)
+                .metric("attack_blocked", r.blocked ? 1.0 : 0.0);
+        }
+    }
     table.print();
     std::printf("Paper (Tab. 2 + §7.1): sandbox-enhanced VDom correctly\n"
                 "handles unsafe and hijacked PKRU updates and intercepts\n"
@@ -138,8 +151,10 @@ run()
 }  // namespace vdom::bench
 
 int
-main()
+main(int argc, char **argv)
 {
-    vdom::bench::run();
+    vdom::bench::BenchReport report("tab2_sandbox", argc, argv);
+    vdom::bench::run(report);
+    report.write();
     return 0;
 }

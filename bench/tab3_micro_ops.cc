@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "bench_util.h"
@@ -149,15 +150,59 @@ measure_context_switch(hw::ArchKind arch)
 }
 
 void
-run(int rounds)
+run(int rounds, BenchReport &report)
 {
     using hw::ArchKind;
     sim::Table table("Table 3: average cycles of common operations "
                      "[measured (paper)]");
     table.columns({"Operation", "X86 cycles", "ARM cycles"});
 
+    // One record per (operation, arch) cell; wrvdr-family rows attach the
+    // metrics registry so the kWrvdrLatency histogram backs percentiles.
+    auto rec_simple = [&](const char *op, const char *arch, double v,
+                          double paper) {
+        if (report.enabled())
+            report.add()
+                .config("op", op)
+                .config("arch", arch)
+                .metric("cycles", v)
+                .metric("paper_cycles", paper);
+    };
+    auto measure_rec = [&](const char *op, ArchKind arch,
+                           std::uint64_t pages, std::size_t domains,
+                           std::size_t nas, ApiMode mode,
+                           const char *filter, double paper) {
+        telemetry::MetricsRegistry registry(2);
+        double v;
+        {
+            std::optional<telemetry::ScopedMetrics> attach;
+            if (report.enabled())
+                attach.emplace(registry);
+            v = measure_wrvdr(arch, pages, domains, nas, mode, filter,
+                              rounds);
+        }
+        if (report.enabled()) {
+            report.add()
+                .config("op", op)
+                .config("arch", hw::arch_name(arch))
+                .metric("cycles", v)
+                .metric("paper_cycles", paper)
+                .metrics_from(registry)
+                .percentiles_from(registry.histogram(
+                    telemetry::Metric::kWrvdrLatency));
+        }
+        return v;
+    };
+
     const hw::CostTable x86 = hw::default_costs(ArchKind::kX86);
     const hw::CostTable arm = hw::default_costs(ArchKind::kArm);
+    rec_simple("empty api call", "X86", x86.api_call, 6.7);
+    rec_simple("empty api call", "ARM", arm.api_call, 16.5);
+    rec_simple("empty syscall", "X86", x86.syscall, 173.4);
+    rec_simple("empty syscall", "ARM", arm.syscall, 268.3);
+    rec_simple("perm reg write", "X86", x86.perm_reg_write, 25.6);
+    rec_simple("perm reg write", "ARM", arm.perm_reg_write, 18.1);
+    rec_simple("vmfunc", "X86", x86.vmfunc_base, 169);
     table.row({"empty API call return", vs_paper(x86.api_call, 6.7, 1),
                vs_paper(arm.api_call, 16.5, 1)});
     table.row({"empty syscall return", vs_paper(x86.syscall, 173.4, 1),
@@ -168,45 +213,48 @@ run(int rounds)
     table.row({"VMFUNC", vs_paper(x86.vmfunc_base, 169, 0), "undefined"});
 
     // Fast + secure wrvdr on mapped vdoms (2MB working set, 8 domains).
-    double fast_x86 = measure_wrvdr(ArchKind::kX86, 512, 8, 1,
-                                    ApiMode::kFast, "mapped", rounds);
-    double sec_x86 = measure_wrvdr(ArchKind::kX86, 512, 8, 1,
-                                   ApiMode::kSecure, "mapped", rounds);
-    double sec_arm = measure_wrvdr(ArchKind::kArm, 512, 8, 1,
-                                   ApiMode::kSecure, "mapped", rounds);
+    double fast_x86 = measure_rec("fast wrvdr mapped", ArchKind::kX86, 512,
+                                  8, 1, ApiMode::kFast, "mapped", 68.8);
+    double sec_x86 = measure_rec("secure wrvdr mapped", ArchKind::kX86, 512,
+                                 8, 1, ApiMode::kSecure, "mapped", 104);
+    double sec_arm = measure_rec("secure wrvdr mapped", ArchKind::kArm, 512,
+                                 8, 1, ApiMode::kSecure, "mapped", 406);
     table.row({"fast wrvdr API call return", vs_paper(fast_x86, 68.8, 1),
                vs_paper(sec_arm, 406, 0)});
     table.row({"secure wrvdr API call return", vs_paper(sec_x86, 104, 0),
                vs_paper(sec_arm, 406, 0)});
 
     // Evictions: nas=1 with one more domain than fits.
-    auto evict = [&](ArchKind arch, std::uint64_t pages, double paper_x86,
-                     double paper_arm) {
+    auto evict = [&](const char *op, ArchKind arch, std::uint64_t pages,
+                     double paper) {
         std::size_t usable = (arch == ArchKind::kX86)
             ? hw::ArchParams::x86(2).usable_pdoms()
             : hw::ArchParams::arm(2).usable_pdoms();
-        double v = measure_wrvdr(arch, pages, usable + 1, 1,
-                                 ApiMode::kSecure, "evict", rounds);
-        return vs_paper(v, arch == ArchKind::kX86 ? paper_x86 : paper_arm,
-                        0);
+        double v = measure_rec(op, arch, pages, usable + 1, 1,
+                               ApiMode::kSecure, "evict", paper);
+        return vs_paper(v, paper, 0);
     };
     table.row({"secure wrvdr with 4KB eviction",
-               evict(ArchKind::kX86, 1, 1639, 0),
-               evict(ArchKind::kArm, 1, 0, 2274)});
+               evict("secure wrvdr evict 4KB", ArchKind::kX86, 1, 1639),
+               evict("secure wrvdr evict 4KB", ArchKind::kArm, 1, 2274)});
     table.row({"secure wrvdr with 2MB eviction",
-               evict(ArchKind::kX86, 512, 1605, 0),
-               evict(ArchKind::kArm, 512, 0, 3159)});
+               evict("secure wrvdr evict 2MB", ArchKind::kX86, 512, 1605),
+               evict("secure wrvdr evict 2MB", ArchKind::kArm, 512, 3159)});
     table.row({"secure wrvdr with 64MB eviction",
-               evict(ArchKind::kX86, 512 * 32, 8097, 0),
-               evict(ArchKind::kArm, 512 * 32, 0, 11778)});
+               evict("secure wrvdr evict 64MB", ArchKind::kX86, 512 * 32,
+                     8097),
+               evict("secure wrvdr evict 64MB", ArchKind::kArm, 512 * 32,
+                     11778)});
 
     // VDS switch: nas=4 with two address spaces' worth of domains.
     std::size_t ux = hw::ArchParams::x86(2).usable_pdoms();
     std::size_t ua = hw::ArchParams::arm(2).usable_pdoms();
-    double sw_x86 = measure_wrvdr(ArchKind::kX86, 512, 2 * ux, 4,
-                                  ApiMode::kSecure, "switch", rounds);
-    double sw_arm = measure_wrvdr(ArchKind::kArm, 512, 2 * ua, 4,
-                                  ApiMode::kSecure, "switch", rounds);
+    double sw_x86 = measure_rec("secure wrvdr vds switch", ArchKind::kX86,
+                                512, 2 * ux, 4, ApiMode::kSecure, "switch",
+                                583);
+    double sw_arm = measure_rec("secure wrvdr vds switch", ArchKind::kArm,
+                                512, 2 * ua, 4, ApiMode::kSecure, "switch",
+                                723);
     table.row({"secure wrvdr with VDS switch", vs_paper(sw_x86, 583, 0),
                vs_paper(sw_arm, 723, 0)});
     table.print();
@@ -215,6 +263,12 @@ run(int rounds)
     ctx.columns({"Operation", "X86 cycles", "ARM cycles"});
     CtxCosts cx = measure_context_switch(ArchKind::kX86);
     CtxCosts ca = measure_context_switch(ArchKind::kArm);
+    rec_simple("switch_mm plain", "X86", cx.plain, 426.3);
+    rec_simple("switch_mm plain", "ARM", ca.plain, 1339.8);
+    rec_simple("switch_mm from vdom", "X86", cx.vdom_passive, 451.9);
+    rec_simple("switch_mm from vdom", "ARM", ca.vdom_passive, 1442.1);
+    rec_simple("switch to vds", "X86", cx.to_vds, 771.7);
+    rec_simple("switch to vds", "ARM", ca.to_vds, 1545.1);
     ctx.row({"switch_mm, plain process", vs_paper(cx.plain, 426.3, 1),
              vs_paper(ca.plain, 1339.8, 1)});
     ctx.row({"switch_mm from VDom process",
@@ -232,6 +286,8 @@ int
 main(int argc, char **argv)
 {
     int rounds = vdom::bench::quick_mode(argc, argv) ? 20 : 200;
-    vdom::bench::run(rounds);
+    vdom::bench::BenchReport report("tab3_micro_ops", argc, argv);
+    vdom::bench::run(rounds, report);
+    report.write();
     return 0;
 }

@@ -12,6 +12,7 @@
 /// protection keys.
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -157,7 +158,7 @@ measure_epk(std::size_t keys, bool trigger, int rounds)
 }
 
 void
-run(int rounds)
+run(int rounds, BenchReport &report)
 {
     const std::vector<std::size_t> counts = {3, 4, 15, 16, 29, 32, 64, 70};
     struct RowSpec {
@@ -235,8 +236,27 @@ run(int rounds)
     table.columns(header);
     for (RowSpec &row : rows) {
         std::vector<std::string> cells = {row.name};
-        for (std::size_t i = 0; i < counts.size(); ++i)
-            cells.push_back(vs_paper(row.fn(counts[i]), row.paper[i], 0));
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            telemetry::MetricsRegistry registry(2);
+            double v;
+            {
+                std::optional<telemetry::ScopedMetrics> attach;
+                if (report.enabled())
+                    attach.emplace(registry);
+                v = row.fn(counts[i]);
+            }
+            if (report.enabled()) {
+                report.add()
+                    .config("row", row.name)
+                    .config("vdoms", counts[i])
+                    .metric("cycles", v)
+                    .metric("paper_cycles", row.paper[i])
+                    .metrics_from(registry)
+                    .percentiles_from(registry.histogram(
+                        telemetry::Metric::kWrvdrLatency));
+            }
+            cells.push_back(vs_paper(v, row.paper[i], 0));
+        }
         table.row(cells);
         std::fprintf(stderr, ".");
     }
@@ -251,6 +271,8 @@ int
 main(int argc, char **argv)
 {
     int rounds = vdom::bench::quick_mode(argc, argv) ? 3 : 12;
-    vdom::bench::run(rounds);
+    vdom::bench::BenchReport report("tab4_domain_access", argc, argv);
+    vdom::bench::run(rounds, report);
+    report.write();
     return 0;
 }

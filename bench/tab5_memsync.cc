@@ -10,6 +10,7 @@
 /// additional VDS demand-pages (and synchronizes) each page (§6.2).
 
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench_util.h"
@@ -30,8 +31,13 @@ namespace {
 double
 run_alloc_sync(hw::ArchKind arch, std::size_t modules,
                std::size_t num_vdses, int pages, double alloc_work,
-               double module_work)
+               double module_work,
+               telemetry::MetricsRegistry *registry = nullptr,
+               hw::CycleBreakdown *breakdown_out = nullptr)
 {
+    std::optional<telemetry::ScopedMetrics> attach;
+    if (registry)
+        attach.emplace(*registry);
     BenchWorld world(arch == hw::ArchKind::kX86 ? hw::ArchParams::x86(2)
                                                 : hw::ArchParams::arm(2));
     hw::Core &core = world.core(0);
@@ -64,11 +70,42 @@ run_alloc_sync(hw::ArchKind arch, std::size_t modules,
             core.charge(hw::CostKind::kCompute, module_work);
         }
     }
+    if (breakdown_out)
+        *breakdown_out = world.machine.total_breakdown();
     return core.now() - t0;
 }
 
+/// Runs the baseline/split pair for one (arch, VDS-count) cell and
+/// records it under --json.
+double
+overhead_pct(hw::ArchKind arch, std::size_t n, int pages, double alloc_work,
+             double module_work, BenchReport &report)
+{
+    double base = run_alloc_sync(arch, n, 1, pages, alloc_work, module_work);
+    telemetry::MetricsRegistry registry(2);
+    hw::CycleBreakdown bd;
+    bool record = report.enabled();
+    double split = run_alloc_sync(arch, n, n, pages, alloc_work, module_work,
+                                  record ? &registry : nullptr, &bd);
+    double pct = (split / base - 1.0) * 100.0;
+    if (record) {
+        report.add()
+            .config("arch", hw::arch_name(arch))
+            .config("vdses", n)
+            .config("pages", static_cast<std::uint64_t>(pages))
+            .metric("base_cycles", base)
+            .metric("split_cycles", split)
+            .metric("overhead_pct", pct)
+            .metrics_from(registry)
+            .breakdown(bd)
+            .percentiles_from(
+                registry.histogram(telemetry::Metric::kWrvdrLatency));
+    }
+    return pct;
+}
+
 void
-run(int pages)
+run(int pages, BenchReport &report)
 {
     const std::vector<std::size_t> counts = {2, 4, 8, 16, 32};
     const std::vector<double> paper_x86 = {3.8, 8.9, 20.9, 38.8, 56.1};
@@ -94,19 +131,13 @@ run(int pages)
     for (std::size_t i = 0; i < counts.size(); ++i) {
         std::size_t n = counts[i];
         // Baseline: the same modules all share one address space.
-        double base = run_alloc_sync(hw::ArchKind::kX86, n, 1, pages,
-                                     alloc_x86, module_x86);
-        double split = run_alloc_sync(hw::ArchKind::kX86, n, n, pages,
-                                      alloc_x86, module_x86);
-        row_x86.push_back(
-            vs_paper((split / base - 1.0) * 100.0, paper_x86[i], 1));
+        double x86_pct = overhead_pct(hw::ArchKind::kX86, n, pages,
+                                      alloc_x86, module_x86, report);
+        row_x86.push_back(vs_paper(x86_pct, paper_x86[i], 1));
         if (paper_arm[i] > 0) {
-            double abase = run_alloc_sync(hw::ArchKind::kArm, n, 1, pages,
-                                          alloc_arm, module_arm);
-            double asplit = run_alloc_sync(hw::ArchKind::kArm, n, n, pages,
-                                           alloc_arm, module_arm);
-            row_arm.push_back(
-                vs_paper((asplit / abase - 1.0) * 100.0, paper_arm[i], 1));
+            double arm_pct = overhead_pct(hw::ArchKind::kArm, n, pages,
+                                          alloc_arm, module_arm, report);
+            row_arm.push_back(vs_paper(arm_pct, paper_arm[i], 1));
         } else {
             row_arm.push_back("undefined");
         }
@@ -135,6 +166,8 @@ int
 main(int argc, char **argv)
 {
     int pages = vdom::bench::quick_mode(argc, argv) ? 400 : 2000;
-    vdom::bench::run(pages);
+    vdom::bench::BenchReport report("tab5_memsync", argc, argv);
+    vdom::bench::run(pages, report);
+    report.write();
     return 0;
 }

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -101,7 +102,7 @@ suites(int scale)
 }
 
 void
-run(int scale)
+run(int scale, BenchReport &report)
 {
     sim::Table table(
         "Section 7.3 (UnixBench analogue): VDom kernel vs stock kernel, "
@@ -121,7 +122,26 @@ run(int scale)
             BenchWorld vdomful(arch == hw::ArchKind::kX86
                                    ? hw::ArchParams::x86(2)
                                    : hw::ArchParams::arm(2));
-            double on_vdom = suite.run(vdomful, true);
+            telemetry::MetricsRegistry registry(2);
+            double on_vdom;
+            {
+                std::optional<telemetry::ScopedMetrics> attach;
+                if (report.enabled())
+                    attach.emplace(registry);
+                on_vdom = suite.run(vdomful, true);
+            }
+            if (report.enabled()) {
+                report.add()
+                    .config("arch", hw::arch_name(arch))
+                    .config("suite", suite.name)
+                    .metric("stock_cycles", base)
+                    .metric("vdom_kernel_cycles", on_vdom)
+                    .metric("relative_score_pct", base / on_vdom * 100.0)
+                    .metrics_from(registry)
+                    .breakdown(vdomful.machine.total_breakdown())
+                    .percentiles_from(registry.histogram(
+                        telemetry::Metric::kWrvdrLatency));
+            }
             std::string score =
                 sim::Table::num(base / on_vdom * 100.0, 1) + "%";
             if (arch == hw::ArchKind::kX86) {
@@ -147,6 +167,8 @@ run(int scale)
 int
 main(int argc, char **argv)
 {
-    vdom::bench::run(vdom::bench::quick_mode(argc, argv) ? 1 : 4);
+    vdom::bench::BenchReport report("tab_unixbench", argc, argv);
+    vdom::bench::run(vdom::bench::quick_mode(argc, argv) ? 1 : 4, report);
+    report.write();
     return 0;
 }

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Schema check for the --json records the benches emit.
+
+Usage: scripts/check_bench_json.py FILE [FILE...]
+
+Each file must hold a non-empty JSON array of records shaped as
+    {bench, config{...}, metrics{...}, breakdown{...},
+     percentiles{p50, p90, p99}}
+where breakdown keys are the simulator's cost-kind names and the
+percentiles are ordered (p50 <= p90 <= p99).  Exits non-zero, naming the
+offending file/record, on the first violation.
+"""
+
+import json
+import sys
+
+# Must match CostKind / cost_kind_name() in src/hw/cost_kind.h.
+COST_KINDS = {
+    "compute", "api", "perm_reg", "syscall", "tlb_miss", "tlb_flush",
+    "tlb_shootdown", "busy_wait", "eviction", "pgd_switch", "migration",
+    "mem_sync", "fault", "context_switch", "vm_exit", "vm_overhead",
+    "io", "idle",
+}
+
+REQUIRED_KEYS = ("bench", "config", "metrics", "breakdown", "percentiles")
+
+
+def fail(path, i, msg):
+    sys.exit(f"{path}: record {i}: {msg}")
+
+
+def check_file(path):
+    with open(path) as f:
+        try:
+            records = json.load(f)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{path}: invalid JSON: {e}")
+    if not isinstance(records, list):
+        sys.exit(f"{path}: top-level value must be an array")
+    if not records:
+        sys.exit(f"{path}: no records")
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict):
+            fail(path, i, "record is not an object")
+        for key in REQUIRED_KEYS:
+            if key not in rec:
+                fail(path, i, f"missing key {key!r}")
+        if not isinstance(rec["bench"], str) or not rec["bench"]:
+            fail(path, i, "bench must be a non-empty string")
+        for key in ("config", "metrics", "breakdown", "percentiles"):
+            if not isinstance(rec[key], dict):
+                fail(path, i, f"{key} must be an object")
+        for name, value in rec["metrics"].items():
+            if not isinstance(value, (int, float)):
+                fail(path, i, f"metric {name!r} is not a number")
+        bad = set(rec["breakdown"]) - COST_KINDS
+        if bad:
+            fail(path, i, f"unknown breakdown keys: {sorted(bad)}")
+        missing = COST_KINDS - set(rec["breakdown"])
+        if missing:
+            fail(path, i, f"missing breakdown keys: {sorted(missing)}")
+        for name, value in rec["breakdown"].items():
+            if not isinstance(value, (int, float)) or value < 0:
+                fail(path, i, f"breakdown {name!r} is not a number >= 0")
+        pct = rec["percentiles"]
+        for q in ("p50", "p90", "p99"):
+            if not isinstance(pct.get(q), (int, float)):
+                fail(path, i, f"percentiles.{q} is not a number")
+        if not pct["p50"] <= pct["p90"] <= pct["p99"]:
+            fail(path, i, f"percentiles not ordered: {pct}")
+    return len(records)
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.exit(__doc__.strip())
+    total = 0
+    for path in argv[1:]:
+        n = check_file(path)
+        print(f"{path}: {n} record(s) ok")
+        total += n
+    print(f"checked {len(argv) - 1} file(s), {total} record(s)")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

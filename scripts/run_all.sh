@@ -6,7 +6,11 @@
 #   --quick  scaled-down bench runs (seconds instead of minutes)
 #   --csv    plotting-ready CSV bench output
 #
-# Results land in results/: test_output.txt plus one file per bench.
+# Results land in results/: test_output.txt, one .txt + .json file per
+# bench (schema-checked machine-readable records), the aggregated
+# results/BENCH_summary.json, and the Chrome-trace span export
+# results/fig5_httpd.trace.json (open in chrome://tracing or
+# ui.perfetto.dev).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,7 +26,7 @@ done
 
 cmake -B build -G Ninja
 cmake --build build
-mkdir -p results
+mkdir -p results results/json
 
 ctest --test-dir build --output-on-failure 2>&1 | tee results/test_output.txt
 
@@ -30,11 +34,39 @@ for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     name=$(basename "$b")
     echo "== running $name =="
-    if [ "$name" = bench_simperf ]; then
-        "$b" --benchmark_min_time=0.1 2>/dev/null | tee "results/$name.txt"
-    else
-        "$b" $QUICK 2>/dev/null | tee "results/$name.txt"
+    json="results/json/$name.json"
+    extra=""
+    if [ "$name" = fig5_httpd ]; then
+        extra="--trace results/fig5_httpd.trace.json"
     fi
+    if [ "$name" = bench_simperf ]; then
+        "$b" --benchmark_min_time=0.1 --json "$json" 2>/dev/null \
+            | tee "results/$name.txt"
+    else
+        "$b" $QUICK --json "$json" $extra 2>/dev/null \
+            | tee "results/$name.txt"
+    fi
+    python3 scripts/check_bench_json.py "$json"
 done
+
+# Aggregate every bench's records into one summary document.
+python3 - <<'EOF'
+import json, pathlib
+
+summary = {}
+for path in sorted(pathlib.Path("results/json").glob("*.json")):
+    records = json.loads(path.read_text())
+    total = {}
+    for rec in records:
+        for kind, cycles in rec["breakdown"].items():
+            total[kind] = total.get(kind, 0) + cycles
+    summary[path.stem] = {
+        "records": len(records),
+        "breakdown_total": total,
+    }
+out = pathlib.Path("results/BENCH_summary.json")
+out.write_text(json.dumps({"benches": summary}, indent=2) + "\n")
+print(f"wrote {out} ({len(summary)} benches)")
+EOF
 
 echo "done: see results/"

@@ -23,7 +23,10 @@ class PageTable;
 class Core {
   public:
     Core(std::size_t id, const ArchParams &params)
-        : id_(id), params_(&params), tlb_(params.tlb_entries) {}
+        : id_(id), params_(&params), tlb_(params.tlb_entries, id)
+    {
+        perm_reg_.set_owner(id);
+    }
 
     std::size_t id() const { return id_; }
     const ArchParams &params() const { return *params_; }

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "hw/perm.h"
+#include "telemetry/metrics.h"
 
 namespace vdom::hw {
 
@@ -37,7 +38,12 @@ class PermRegister {
     Perm get(std::uint8_t pdom) const { return slots_[pdom]; }
 
     /// Writes the rights for \p pdom.
-    void set(std::uint8_t pdom, Perm perm) { slots_[pdom] = perm; }
+    void
+    set(std::uint8_t pdom, Perm perm)
+    {
+        slots_[pdom] = perm;
+        telemetry::metric_add(telemetry::Metric::kPermRegWrite, 1, owner_);
+    }
 
     /// Returns the raw 32-bit register image (PKRU layout: 2 bits/pdom).
     std::uint32_t
@@ -55,12 +61,21 @@ class PermRegister {
     {
         for (std::size_t i = 0; i < kSlots; ++i)
             slots_[i] = static_cast<Perm>((value >> (2 * i)) & 0x3u);
+        telemetry::metric_add(telemetry::Metric::kPermRegWrite, 1, owner_);
     }
 
-    bool operator==(const PermRegister &) const = default;
+    /// Telemetry shard for write metrics (the owning core's id).
+    void set_owner(std::size_t owner) { owner_ = owner; }
+
+    bool
+    operator==(const PermRegister &other) const
+    {
+        return slots_ == other.slots_;
+    }
 
   private:
     std::array<Perm, kSlots> slots_;
+    std::size_t owner_ = 0;
 };
 
 }  // namespace vdom::hw

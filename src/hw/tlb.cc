@@ -3,7 +3,11 @@
 
 #include "hw/tlb.h"
 
+#include "telemetry/metrics.h"
+
 namespace vdom::hw {
+
+namespace tm = ::vdom::telemetry;
 
 std::optional<TlbEntry>
 Tlb::lookup(Asid asid, Vpn vpn)
@@ -11,9 +15,11 @@ Tlb::lookup(Asid asid, Vpn vpn)
     auto it = map_.find(make_key(asid, vpn));
     if (it == map_.end()) {
         ++stats_.misses;
+        tm::metric_add(tm::Metric::kTlbMiss, 1, owner_);
         return std::nullopt;
     }
     ++stats_.hits;
+    tm::metric_add(tm::Metric::kTlbHit, 1, owner_);
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->entry;
 }
@@ -32,6 +38,7 @@ Tlb::insert(Asid asid, Vpn vpn, const TlbEntry &entry)
         map_.erase(lru_.back().key);
         lru_.pop_back();
         ++stats_.evictions;
+        tm::metric_add(tm::Metric::kTlbEvict, 1, owner_);
     }
     lru_.push_front(Node{key, entry});
     map_[key] = lru_.begin();
@@ -41,6 +48,7 @@ void
 Tlb::flush_all()
 {
     ++stats_.flushes_all;
+    tm::metric_add(tm::Metric::kTlbFlush, 1, owner_);
     lru_.clear();
     map_.clear();
 }
@@ -49,6 +57,7 @@ void
 Tlb::flush_asid(Asid asid)
 {
     ++stats_.flushes_asid;
+    tm::metric_add(tm::Metric::kTlbFlush, 1, owner_);
     for (auto it = lru_.begin(); it != lru_.end();) {
         if ((it->key >> 48) == asid) {
             map_.erase(it->key);
@@ -72,6 +81,8 @@ Tlb::flush_range(Asid asid, Vpn vpn, std::uint64_t count)
         }
     }
     stats_.flushed_pages += touched;
+    if (touched)
+        tm::metric_add(tm::Metric::kTlbFlushedPages, touched, owner_);
     return touched;
 }
 

@@ -37,7 +37,12 @@ class Tlb {
         std::uint64_t evictions = 0;      ///< Capacity evictions.
     };
 
-    explicit Tlb(std::size_t capacity) : capacity_(capacity) {}
+    /// \param owner  core id used as the telemetry shard for this TLB's
+    ///        metrics (0 for standalone TLBs in tests/benches).
+    explicit Tlb(std::size_t capacity, std::size_t owner = 0)
+        : capacity_(capacity), owner_(owner)
+    {
+    }
 
     /// Looks up (asid, vpn); refreshes LRU position on hit.
     std::optional<TlbEntry> lookup(Asid asid, Vpn vpn);
@@ -75,6 +80,7 @@ class Tlb {
     };
 
     std::size_t capacity_;
+    std::size_t owner_ = 0;
     std::list<Node> lru_;  ///< Front = most recently used.
     std::unordered_map<Key, std::list<Node>::iterator> map_;
     Stats stats_;

@@ -5,6 +5,8 @@
 
 #include <limits>
 
+#include "telemetry/metrics.h"
+
 namespace vdom::kernel {
 
 hw::Asid
@@ -63,6 +65,7 @@ X86PcidAllocator::assign(std::size_t core, std::uint64_t ctx_id)
         }
         recycled = true;
         ++flushes_;
+        telemetry::metric_add(telemetry::Metric::kAsidRecycle, 1, core);
     }
     victim->ctx_id = ctx_id;
     victim->asid = next_unique_asid();
@@ -89,6 +92,7 @@ ArmAsidAllocator::assign(std::size_t core, std::uint64_t ctx_id)
         active_.clear();
         used_ = 0;
         ++flushes_;
+        telemetry::metric_add(telemetry::Metric::kAsidRollover);
         hw::Asid asid = next_unique_asid();
         active_[ctx_id] = asid;
         ++used_;

@@ -3,6 +3,8 @@
 
 #include "kernel/mm.h"
 
+#include "telemetry/metrics.h"
+
 namespace vdom::kernel {
 
 MmStruct::MmStruct(const hw::ArchParams &params, ShootdownManager *shootdown)
@@ -17,6 +19,7 @@ Vds *
 MmStruct::create_vds()
 {
     vdses_.push_back(std::make_unique<Vds>(next_vds_id_++, *params_));
+    telemetry::metric_set(telemetry::Metric::kVdsCount, vdses_.size());
     return vdses_.back().get();
 }
 
@@ -181,6 +184,7 @@ MmStruct::fault_in(hw::Core &core, Vds &vds, hw::Vpn vpn)
     const Vma *vma = vmas_.find(vpn);
     if (!vma)
         return false;
+    telemetry::metric_add(telemetry::Metric::kFaultIn, 1, core.id());
     // Already mapped in this VDS (e.g. remapped by the virtualization
     // algorithm between the fault and this handler): nothing to do.
     if (vds.pgd().translate(vpn).present)
@@ -203,6 +207,8 @@ MmStruct::fault_in(hw::Core &core, Vds &vds, hw::Vpn vpn)
         } else {
             // Present elsewhere: this is cross-VDS demand paging (§6.2).
             core.charge(hw::CostKind::kMemSync, costs.memsync_page);
+            telemetry::metric_add(telemetry::Metric::kMemsyncPages, 1,
+                                  core.id());
         }
         charge_pt_ops(core, vds.pgd().map_huge(base, tag),
                       hw::CostKind::kMemSync);
@@ -214,6 +220,8 @@ MmStruct::fault_in(hw::Core &core, Vds &vds, hw::Vpn vpn)
                       hw::CostKind::kFault);
     } else {
         core.charge(hw::CostKind::kMemSync, costs.memsync_page);
+        telemetry::metric_add(telemetry::Metric::kMemsyncPages, 1,
+                              core.id());
     }
     charge_pt_ops(core, vds.pgd().map_page(vpn, tag), hw::CostKind::kMemSync);
     return true;

@@ -14,6 +14,8 @@
 #include "hw/arch.h"
 #include "hw/machine.h"
 #include "sim/trace.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 
 namespace vdom::kernel {
 
@@ -54,23 +56,36 @@ class ShootdownManager {
           bool target_current_asid = false)
     {
         const hw::CostTable &costs = initiator.costs();
-        bool any = false;
+        hw::Cycles start = initiator.now();
+        std::uint64_t ipis = 0;
         for (std::size_t c = 0; c < machine_->num_cores(); ++c) {
             if (c == initiator.id() || !(cpu_bitmap & (1ULL << c)))
                 continue;
-            any = true;
             hw::Core &target = machine_->core(c);
             target.charge(hw::CostKind::kShootdown, costs.ipi_handle);
             hw::Asid use = target_current_asid ? target.asid() : asid;
             apply_flush(target, kind, use, vpn, count);
             initiator.charge(hw::CostKind::kShootdown,
                              costs.ipi_post + costs.ipi_wait);
-            ++stats_.ipis;
+            ++ipis;
         }
-        if (any) {
+        if (ipis) {
             ++stats_.shootdowns;
+            stats_.ipis += ipis;
             sim::trace({sim::TraceEvent::kShootdown, initiator.now(), 0,
                         kInvalidVdom, 0, 0});
+            std::size_t shard = initiator.id();
+            telemetry::metric_add(telemetry::Metric::kShootdowns, 1, shard);
+            telemetry::metric_add(telemetry::Metric::kShootdownIpis, ipis,
+                                  shard);
+            // Initiator-side latency: posting the IPIs and waiting for
+            // every target's acknowledgement.
+            telemetry::metric_observe(
+                telemetry::Metric::kShootdownLatency,
+                static_cast<std::uint64_t>(initiator.now() - start), shard);
+            telemetry::span_instant(
+                "shootdown", static_cast<std::uint64_t>(initiator.now()),
+                static_cast<std::uint32_t>(initiator.id()), 0, "kernel");
         }
     }
 

@@ -46,7 +46,8 @@ struct TraceRecord {
     std::uint32_t vds_to = 0;   ///< Destination VDS id (same = n/a).
 };
 
-/// Bounded ring of trace records.
+/// Bounded ring of trace records.  Capacity 0 retains nothing (events are
+/// still counted in total()).
 class Tracer {
   public:
     explicit Tracer(std::size_t capacity = 4096) : capacity_(capacity) {}
@@ -54,10 +55,12 @@ class Tracer {
     void
     record(const TraceRecord &rec)
     {
+        ++total_;
+        if (capacity_ == 0)
+            return;
         if (records_.size() >= capacity_)
             records_.pop_front();
         records_.push_back(rec);
-        ++total_;
     }
 
     /// Events currently retained (oldest first).

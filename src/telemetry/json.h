@@ -1,0 +1,210 @@
+/// \file
+/// Minimal streaming JSON writer.
+///
+/// The telemetry exporters (Chrome-trace spans, bench records, metric
+/// snapshots) all emit JSON; this writer handles the comma/nesting
+/// bookkeeping and string escaping so they can stay declarative.  It has no
+/// dependencies above the standard library on purpose: telemetry sits below
+/// every other layer of the simulator.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vdom::telemetry {
+
+/// Streaming writer for one JSON document.
+///
+/// Usage:
+///     JsonWriter w(out);
+///     w.begin_object();
+///     w.key("name").value("fig5_httpd");
+///     w.key("metrics").begin_object();
+///     ... w.end_object();
+///     w.end_object();
+class JsonWriter {
+  public:
+    explicit JsonWriter(std::ostream &out) : out_(&out) {}
+
+    JsonWriter &
+    begin_object()
+    {
+        separate();
+        *out_ << "{";
+        stack_.push_back(State::kFirstInObject);
+        return *this;
+    }
+
+    JsonWriter &
+    end_object()
+    {
+        stack_.pop_back();
+        *out_ << "}";
+        return *this;
+    }
+
+    JsonWriter &
+    begin_array()
+    {
+        separate();
+        *out_ << "[";
+        stack_.push_back(State::kFirstInArray);
+        return *this;
+    }
+
+    JsonWriter &
+    end_array()
+    {
+        stack_.pop_back();
+        *out_ << "]";
+        return *this;
+    }
+
+    /// Emits an object key; the next value/begin_* call provides the value.
+    JsonWriter &
+    key(const std::string &name)
+    {
+        separate();
+        *out_ << escape(name) << ":";
+        pending_key_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &text)
+    {
+        separate();
+        *out_ << escape(text);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *text)
+    {
+        return value(std::string(text));
+    }
+
+    JsonWriter &
+    value(double number)
+    {
+        separate();
+        if (!std::isfinite(number)) {
+            *out_ << "0";
+            return *this;
+        }
+        // Round-trippable but compact: integers print without a fraction.
+        if (number == static_cast<double>(static_cast<std::int64_t>(number))) {
+            *out_ << static_cast<std::int64_t>(number);
+        } else {
+            std::ostringstream tmp;
+            tmp.precision(12);
+            tmp << number;
+            *out_ << tmp.str();
+        }
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint64_t number)
+    {
+        separate();
+        *out_ << number;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::int64_t number)
+    {
+        separate();
+        *out_ << number;
+        return *this;
+    }
+
+    JsonWriter &
+    value(int number)
+    {
+        return value(static_cast<std::int64_t>(number));
+    }
+
+    JsonWriter &
+    value(bool flag)
+    {
+        separate();
+        *out_ << (flag ? "true" : "false");
+        return *this;
+    }
+
+    /// Emits \p token verbatim (a pre-rendered JSON value, e.g. an
+    /// already-escaped string literal or a number).
+    JsonWriter &
+    raw(const std::string &token)
+    {
+        separate();
+        *out_ << token;
+        return *this;
+    }
+
+    /// JSON string literal (quoted, escaped) for \p text.
+    static std::string
+    escape(const std::string &text)
+    {
+        std::string out = "\"";
+        for (char c : text) {
+            switch (c) {
+              case '"': out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\n': out += "\\n"; break;
+              case '\r': out += "\\r"; break;
+              case '\t': out += "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+            }
+        }
+        out += "\"";
+        return out;
+    }
+
+  private:
+    enum class State : std::uint8_t {
+        kFirstInObject,
+        kInObject,
+        kFirstInArray,
+        kInArray,
+    };
+
+    /// Emits the comma before a sibling element, tracking container state.
+    void
+    separate()
+    {
+        if (pending_key_) {
+            // The value completing a "key": pair needs no comma.
+            pending_key_ = false;
+            return;
+        }
+        if (stack_.empty())
+            return;
+        State &top = stack_.back();
+        if (top == State::kInObject || top == State::kInArray)
+            *out_ << ",";
+        else
+            top = (top == State::kFirstInObject) ? State::kInObject
+                                                 : State::kInArray;
+    }
+
+    std::ostream *out_;
+    std::vector<State> stack_;
+    bool pending_key_ = false;
+};
+
+}  // namespace vdom::telemetry

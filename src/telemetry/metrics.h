@@ -1,0 +1,381 @@
+/// \file
+/// Metrics registry: named counters, gauges, and log2-bucketed histograms.
+///
+/// The paper's entire argument rests on counts and costs of architectural
+/// events (PKRU writes, TLB flushes, shootdown IPIs, pgd switches — Fig. 1
+/// and Tables 3-5), so the simulator exposes them as first-class metrics
+/// rather than ad-hoc per-component tallies.
+///
+/// Design:
+///  - A fixed table of well-known metrics (`Metric` enum) covers the hot
+///    paths in src/hw, src/kernel and src/vdom; benches and tools can also
+///    register ad-hoc metrics by name.
+///  - Storage is sharded: each shard is a lock-free column of relaxed
+///    atomics, indexed by core id at the emit sites, and shards are merged
+///    on read.  Writers never contend and never take a lock.
+///  - Emission goes through a global null-by-default hook, exactly like
+///    `sim::trace_sink()`: with no registry attached, `metric_add()` is a
+///    single predictable-branch pointer test and *never* touches simulated
+///    time (the cycle-identity test in tests/test_telemetry.cc pins this
+///    down).
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vdom::telemetry {
+
+/// Metric flavors.
+enum class MetricKind : std::uint8_t {
+    kCounter,    ///< Monotonic event count; merged by summing shards.
+    kGauge,      ///< Last-written level per shard; merged by summing.
+    kHistogram,  ///< log2-bucketed value distribution.
+};
+
+/// Well-known metrics, wired through the simulator's layers.
+enum class Metric : std::uint16_t {
+    // hw: TLB and permission register.
+    kTlbHit,
+    kTlbMiss,
+    kTlbEvict,
+    kTlbFlush,
+    kTlbFlushedPages,
+    kPermRegWrite,
+    // kernel: shootdowns, ASID management, memory synchronization.
+    kShootdowns,
+    kShootdownIpis,
+    kAsidRollover,
+    kAsidRecycle,
+    kMemsyncPages,
+    kFaultIn,
+    kVdsCount,
+    // vdom: API surface and the virtualization algorithm.
+    kWrvdrCalls,
+    kRdvdrCalls,
+    kFaultsHandled,
+    kSigsegv,
+    kGateEnter,
+    kGateExit,
+    kGateExitBlocked,
+    kDomainMapHit,
+    kDomainMapFree,
+    kHlruEvict,
+    kVdsSwitch,
+    kMigration,
+    kVdsAlloc,
+    // Latency distributions (simulated cycles).
+    kWrvdrLatency,
+    kShootdownLatency,
+    kFaultLatency,
+    kNumMetrics,
+};
+
+constexpr std::size_t kNumWellKnownMetrics =
+    static_cast<std::size_t>(Metric::kNumMetrics);
+
+/// Static definition of one well-known metric.
+struct MetricDef {
+    const char *name;
+    MetricKind kind;
+};
+
+/// Name/kind table, indexed by Metric.  Naming scheme:
+/// "<subsystem>.<event>[_<unit>]"; histograms end in "_cycles".
+constexpr std::array<MetricDef, kNumWellKnownMetrics> kMetricDefs = {{
+    {"tlb.hit", MetricKind::kCounter},
+    {"tlb.miss", MetricKind::kCounter},
+    {"tlb.evict", MetricKind::kCounter},
+    {"tlb.flush", MetricKind::kCounter},
+    {"tlb.flushed_pages", MetricKind::kCounter},
+    {"perm_reg.write", MetricKind::kCounter},
+    {"shootdown.count", MetricKind::kCounter},
+    {"shootdown.ipi", MetricKind::kCounter},
+    {"asid.rollover", MetricKind::kCounter},
+    {"asid.recycle", MetricKind::kCounter},
+    {"mm.memsync_pages", MetricKind::kCounter},
+    {"mm.fault_in", MetricKind::kCounter},
+    {"mm.vds_count", MetricKind::kGauge},
+    {"api.wrvdr", MetricKind::kCounter},
+    {"api.rdvdr", MetricKind::kCounter},
+    {"api.fault", MetricKind::kCounter},
+    {"api.sigsegv", MetricKind::kCounter},
+    {"gate.enter", MetricKind::kCounter},
+    {"gate.exit", MetricKind::kCounter},
+    {"gate.exit_blocked", MetricKind::kCounter},
+    {"virt.map_hit", MetricKind::kCounter},
+    {"virt.map_free", MetricKind::kCounter},
+    {"virt.hlru_evict", MetricKind::kCounter},
+    {"virt.vds_switch", MetricKind::kCounter},
+    {"virt.migration", MetricKind::kCounter},
+    {"virt.vds_alloc", MetricKind::kCounter},
+    {"api.wrvdr_cycles", MetricKind::kHistogram},
+    {"shootdown.latency_cycles", MetricKind::kHistogram},
+    {"api.fault_cycles", MetricKind::kHistogram},
+}};
+
+/// Returns the registry name of a well-known metric.
+constexpr const char *
+metric_name(Metric m)
+{
+    return kMetricDefs[static_cast<std::size_t>(m)].name;
+}
+
+/// Returns the kind of a well-known metric.
+constexpr MetricKind
+metric_kind(Metric m)
+{
+    return kMetricDefs[static_cast<std::size_t>(m)].kind;
+}
+
+/// Merged, read-side view of a log2-bucketed histogram.
+///
+/// Bucket b holds values v with bit_width(v) == b, i.e. bucket 0 is {0},
+/// bucket 1 is {1}, bucket 2 is {2,3}, bucket b is [2^(b-1), 2^b).
+struct Histogram {
+    static constexpr std::size_t kBuckets = 65;
+
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    static constexpr std::size_t
+    bucket_of(std::uint64_t value)
+    {
+        return static_cast<std::size_t>(std::bit_width(value));
+    }
+
+    /// Upper bound of bucket \p b (the value reported for percentiles).
+    static constexpr std::uint64_t
+    bucket_bound(std::size_t b)
+    {
+        return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+    }
+
+    void
+    observe(std::uint64_t value)
+    {
+        ++buckets[bucket_of(value)];
+        ++count;
+        sum += value;
+    }
+
+    /// Value at quantile \p q in [0,1], estimated as the upper bound of the
+    /// bucket containing the q-th sample.  Returns 0 for empty histograms.
+    std::uint64_t
+    percentile(double q) const
+    {
+        if (count == 0)
+            return 0;
+        auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+        if (rank >= count)
+            rank = count - 1;
+        std::uint64_t seen = 0;
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            seen += buckets[b];
+            if (seen > rank)
+                return bucket_bound(b);
+        }
+        return bucket_bound(kBuckets - 1);
+    }
+
+    double
+    mean() const
+    {
+        return count ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+    }
+
+    Histogram &
+    operator+=(const Histogram &other)
+    {
+        for (std::size_t b = 0; b < kBuckets; ++b)
+            buckets[b] += other.buckets[b];
+        count += other.count;
+        sum += other.sum;
+        return *this;
+    }
+};
+
+/// Identifier of a dynamically registered metric.
+using MetricId = std::uint32_t;
+
+/// The registry: sharded storage for every registered metric.
+///
+/// Well-known metrics exist from construction; `register_metric()` adds
+/// ad-hoc ones (registration is not thread-safe and is meant for setup
+/// code; emission is).  Readers merge shards on demand and never disturb
+/// writers.
+class MetricsRegistry {
+  public:
+    /// \param shards  number of write-side shards; emit sites index by core
+    ///        id, so pass the machine's core count (ids beyond the shard
+    ///        count fold into shard 0).
+    explicit MetricsRegistry(std::size_t shards = 1);
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    std::size_t num_shards() const { return shards_.size(); }
+    std::size_t num_metrics() const { return defs_.size(); }
+
+    /// Registers an ad-hoc metric; returns its id.  A metric that already
+    /// exists under \p name is returned as-is (kinds must match).
+    MetricId register_metric(const std::string &name, MetricKind kind);
+
+    const std::string &name(MetricId id) const { return defs_[id].name; }
+    MetricKind kind(MetricId id) const { return defs_[id].kind; }
+
+    // -- Write side (lock-free, relaxed atomics) --------------------------
+
+    void
+    add(Metric m, std::uint64_t n = 1, std::size_t shard = 0)
+    {
+        add(static_cast<MetricId>(m), n, shard);
+    }
+
+    void
+    add(MetricId id, std::uint64_t n, std::size_t shard)
+    {
+        cell(id, shard).fetch_add(n, std::memory_order_relaxed);
+    }
+
+    void
+    set(Metric m, std::uint64_t v, std::size_t shard = 0)
+    {
+        set(static_cast<MetricId>(m), v, shard);
+    }
+
+    void
+    set(MetricId id, std::uint64_t v, std::size_t shard)
+    {
+        cell(id, shard).store(v, std::memory_order_relaxed);
+    }
+
+    void
+    observe(Metric m, std::uint64_t value, std::size_t shard = 0)
+    {
+        observe(static_cast<MetricId>(m), value, shard);
+    }
+
+    void observe(MetricId id, std::uint64_t value, std::size_t shard);
+
+    // -- Read side (merged over shards) -----------------------------------
+
+    /// Merged scalar value: counters and gauges sum their shards.
+    std::uint64_t value(Metric m) const
+    {
+        return value(static_cast<MetricId>(m));
+    }
+    std::uint64_t value(MetricId id) const;
+
+    /// Per-shard scalar value (counter/gauge).
+    std::uint64_t shard_value(MetricId id, std::size_t shard) const;
+
+    /// Merged histogram snapshot.
+    Histogram histogram(Metric m) const
+    {
+        return histogram(static_cast<MetricId>(m));
+    }
+    Histogram histogram(MetricId id) const;
+
+    /// Zeroes every cell in every shard.
+    void reset();
+
+    /// One merged scalar entry for export.
+    struct Sample {
+        std::string name;
+        MetricKind kind;
+        std::uint64_t value;  ///< count for histograms.
+    };
+
+    /// Merged snapshot of every metric (histograms report their count;
+    /// fetch the full distribution via histogram()).  Metrics that never
+    /// fired are skipped unless \p include_zeroes.
+    std::vector<Sample> snapshot(bool include_zeroes = false) const;
+
+  private:
+    struct Def {
+        std::string name;
+        MetricKind kind;
+        std::size_t slot;  ///< Scalar column or histogram column index.
+    };
+
+    /// One write-side shard: a scalar column plus a histogram column.
+    struct Shard {
+        std::vector<std::atomic<std::uint64_t>> scalars;
+        // Histogram storage: kBuckets+2 atomics per histogram metric
+        // (buckets, count, sum), flattened.
+        std::vector<std::atomic<std::uint64_t>> hist_cells;
+    };
+
+    static constexpr std::size_t kHistStride = Histogram::kBuckets + 2;
+
+    std::atomic<std::uint64_t> &
+    cell(MetricId id, std::size_t shard)
+    {
+        Shard &s = *shards_[shard < shards_.size() ? shard : 0];
+        return s.scalars[defs_[id].slot];
+    }
+
+    void grow_shards_for(const Def &def);
+
+    std::vector<Def> defs_;
+    std::size_t num_scalars_ = 0;
+    std::size_t num_histograms_ = 0;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// -- Global hook (null by default, zero-cost when detached) ---------------
+
+/// The attached registry, or nullptr.
+MetricsRegistry *metrics_sink();
+void set_metrics_sink(MetricsRegistry *registry);
+
+/// Bumps counter \p m by \p n on \p shard if a registry is attached.
+inline void
+metric_add(Metric m, std::uint64_t n = 1, std::size_t shard = 0)
+{
+    if (MetricsRegistry *r = metrics_sink())
+        r->add(m, n, shard);
+}
+
+/// Sets gauge \p m to \p v on \p shard if a registry is attached.
+inline void
+metric_set(Metric m, std::uint64_t v, std::size_t shard = 0)
+{
+    if (MetricsRegistry *r = metrics_sink())
+        r->set(m, v, shard);
+}
+
+/// Records \p value into histogram \p m on \p shard if attached.
+inline void
+metric_observe(Metric m, std::uint64_t value, std::size_t shard = 0)
+{
+    if (MetricsRegistry *r = metrics_sink())
+        r->observe(m, value, shard);
+}
+
+/// RAII attachment of a registry (restores the previous sink).
+class ScopedMetrics {
+  public:
+    explicit ScopedMetrics(MetricsRegistry &registry)
+        : previous_(metrics_sink())
+    {
+        set_metrics_sink(&registry);
+    }
+    ~ScopedMetrics() { set_metrics_sink(previous_); }
+
+    ScopedMetrics(const ScopedMetrics &) = delete;
+    ScopedMetrics &operator=(const ScopedMetrics &) = delete;
+
+  private:
+    MetricsRegistry *previous_;
+};
+
+}  // namespace vdom::telemetry

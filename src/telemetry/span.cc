@@ -1,0 +1,24 @@
+/// \file
+/// Span-tracer global hook.
+
+#include "telemetry/span.h"
+
+namespace vdom::telemetry {
+
+namespace {
+SpanTracer *g_sink = nullptr;
+}  // namespace
+
+SpanTracer *
+span_sink()
+{
+    return g_sink;
+}
+
+void
+set_span_sink(SpanTracer *tracer)
+{
+    g_sink = tracer;
+}
+
+}  // namespace vdom::telemetry

@@ -4,8 +4,41 @@
 #include "vdom/api.h"
 
 #include "sim/trace.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 
 namespace vdom {
+
+namespace tm = ::vdom::telemetry;
+
+namespace {
+
+/// Records elapsed simulated cycles into a latency histogram at scope exit
+/// (covers every return path of the instrumented call).
+class LatencyProbe {
+  public:
+    LatencyProbe(tm::Metric metric, const hw::Core &core)
+        : metric_(metric), core_(&core), start_(core.now())
+    {
+    }
+
+    ~LatencyProbe()
+    {
+        tm::metric_observe(
+            metric_, static_cast<std::uint64_t>(core_->now() - start_),
+            core_->id());
+    }
+
+    LatencyProbe(const LatencyProbe &) = delete;
+    LatencyProbe &operator=(const LatencyProbe &) = delete;
+
+  private:
+    tm::Metric metric_;
+    const hw::Core *core_;
+    hw::Cycles start_;
+};
+
+}  // namespace
 
 VdomSystem::VdomSystem(kernel::Process &proc)
     : proc_(&proc),
@@ -170,6 +203,10 @@ VdomSystem::wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
     if (!proc_->mm().vdm().is_allocated(vdom))
         return VdomStatus::kInvalidVdom;
 
+    tm::metric_add(tm::Metric::kWrvdrCalls, 1, core.id());
+    tm::Span span("wrvdr", core, task.tid(), "api");
+    LatencyProbe latency(tm::Metric::kWrvdrLatency, core);
+
     const hw::CostTable &costs = core.costs();
     charge_api_entry(core, mode);
     // VDR array update + permission arithmetic + register read/write.
@@ -229,6 +266,7 @@ VdomSystem::rdvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
                   ApiMode mode)
 {
     ++stats_.rdvdr_calls;
+    tm::metric_add(tm::Metric::kRdvdrCalls, 1, core.id());
     if (!task.has_vdr())
         return VPerm::kAccessDisable;
     const hw::CostTable &costs = core.costs();
@@ -251,6 +289,9 @@ VdomSystem::access(hw::Core &core, kernel::Task &task, hw::Vpn vpn,
             return VAccess{true, false, res.pdom};
 
         ++stats_.faults;
+        tm::metric_add(tm::Metric::kFaultsHandled, 1, core.id());
+        tm::Span fault_span("fault", core, task.tid(), "api");
+        LatencyProbe fault_latency(tm::Metric::kFaultLatency, core);
         core.charge(hw::CostKind::kFault, costs.fault_entry);
         VdomId vdom = mm.vdom_of(vpn);
         sim::trace({sim::TraceEvent::kFault, core.now(), task.tid(), vdom,
@@ -261,6 +302,7 @@ VdomSystem::access(hw::Core &core, kernel::Task &task, hw::Vpn vpn,
         const kernel::Vma *vma = mm.vmas().find(vpn);
         if (!vma) {
             ++stats_.sigsegv;
+            tm::metric_add(tm::Metric::kSigsegv, 1, core.id());
             return VAccess{false, true, 0};
         }
         bool allowed = true;
@@ -275,6 +317,7 @@ VdomSystem::access(hw::Core &core, kernel::Task &task, hw::Vpn vpn,
         }
         if (!allowed) {
             ++stats_.sigsegv;
+            tm::metric_add(tm::Metric::kSigsegv, 1, core.id());
             sim::trace({sim::TraceEvent::kSigsegv, core.now(), task.tid(),
                         vdom, task.vds()->id(), task.vds()->id()});
             return VAccess{false, true, 0};
@@ -289,10 +332,12 @@ VdomSystem::access(hw::Core &core, kernel::Task &task, hw::Vpn vpn,
         }
         if (!mm.fault_in(core, *task.vds(), vpn)) {
             ++stats_.sigsegv;
+            tm::metric_add(tm::Metric::kSigsegv, 1, core.id());
             return VAccess{false, true, 0};
         }
     }
     ++stats_.sigsegv;
+    tm::metric_add(tm::Metric::kSigsegv, 1, core.id());
     return VAccess{false, true, 0};
 }
 

@@ -3,11 +3,19 @@
 
 #include "vdom/callgate.h"
 
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+
 namespace vdom {
+
+namespace tm = ::vdom::telemetry;
 
 GateFrame
 CallGate::enter(hw::Core &core) const
 {
+    tm::metric_add(tm::Metric::kGateEnter, 1, core.id());
+    tm::span_begin("gate", static_cast<std::uint64_t>(core.now()),
+                   static_cast<std::uint32_t>(core.id()), 0, "api");
     GateFrame frame;
     frame.saved_pkru = core.perm_reg().raw();
     // rdpkru; and $0xfffffff3, %eax; wrpkru  -> full access to pdom1.
@@ -31,9 +39,15 @@ CallGate::exit(hw::Core &core, GateFrame &frame,
     std::uint32_t eax = (target_pkru & ~mask) | ad;
     core.perm_reg().load_raw(eax);
     frame.on_secure_stack = false;
+    tm::metric_add(tm::Metric::kGateExit, 1, core.id());
+    tm::span_end("gate", static_cast<std::uint64_t>(core.now()),
+                 static_cast<std::uint32_t>(core.id()), 0, "api");
     // Lines 29-31: defend against a hijacked eax that would keep pdom1
     // open past the gate.
-    return exit_value_legal(eax);
+    bool legal = exit_value_legal(eax);
+    if (!legal)
+        tm::metric_add(tm::Metric::kGateExitBlocked, 1, core.id());
+    return legal;
 }
 
 bool

@@ -5,8 +5,12 @@
 
 #include "kernel/mm.h"
 #include "sim/trace.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
 
 namespace vdom {
+
+namespace tm = ::vdom::telemetry;
 
 std::optional<hw::Pdom>
 DomainVirtualizer::ensure_mapped(hw::Core &core, kernel::Task &task,
@@ -17,9 +21,11 @@ DomainVirtualizer::ensure_mapped(hw::Core &core, kernel::Task &task,
     if (auto pdom = cur.pdom_of(vdom)) {
         cur.touch(vdom, core.now());
         ++stats_.hits;
+        tm::metric_add(tm::Metric::kDomainMapHit, 1, core.id());
         return pdom;
     }
     // Everything below runs in the kernel.
+    tm::Span span("ensure_mapped", core, task.tid(), "virt");
     if (charge_kernel_entry)
         core.charge(hw::CostKind::kSyscall, core.costs().syscall);
 
@@ -33,6 +39,7 @@ DomainVirtualizer::ensure_mapped(hw::Core &core, kernel::Task &task,
             proc_->switch_vds(core, task, *owned, hw::CostKind::kPgdSwitch);
             owned->touch(vdom, core.now());
             ++stats_.vds_switches;
+            tm::metric_add(tm::Metric::kVdsSwitch, 1, core.id());
             sim::trace({sim::TraceEvent::kVdsSwitch, core.now(),
                         task.tid(), vdom, cur.id(), owned->id()});
             return owned->pdom_of(vdom);
@@ -45,6 +52,7 @@ DomainVirtualizer::ensure_mapped(hw::Core &core, kernel::Task &task,
         map_into(core, cur, vdom, *free, hw::CostKind::kMemSync);
         cur.touch(vdom, core.now());
         ++stats_.maps_free;
+        tm::metric_add(tm::Metric::kDomainMapFree, 1, core.id());
         sim::trace({sim::TraceEvent::kMapFree, core.now(), task.tid(),
                     vdom, cur.id(), cur.id()});
         return free;
@@ -65,6 +73,7 @@ DomainVirtualizer::ensure_mapped(hw::Core &core, kernel::Task &task,
     kernel::Vds *fresh = mm.create_vds();
     core.charge(hw::CostKind::kMigration, core.costs().vds_alloc);
     ++stats_.vds_allocs;
+    tm::metric_add(tm::Metric::kVdsAlloc, 1, core.id());
     sim::trace({sim::TraceEvent::kVdsCreate, core.now(), task.tid(), vdom,
                 cur.id(), fresh->id()});
     return migrate(core, task, *fresh, vdom);
@@ -116,6 +125,7 @@ DomainVirtualizer::switch_or_evict(hw::Core &core, kernel::Task &task,
                                   hw::CostKind::kPgdSwitch);
                 owned->touch(vdom, core.now());
                 ++stats_.vds_switches;
+                tm::metric_add(tm::Metric::kVdsSwitch, 1, core.id());
                 sim::trace({sim::TraceEvent::kVdsSwitch, core.now(),
                             task.tid(), vdom, cur.id(), owned->id()});
                 return owned->pdom_of(vdom);
@@ -126,11 +136,13 @@ DomainVirtualizer::switch_or_evict(hw::Core &core, kernel::Task &task,
             kernel::Vds *fresh = mm.create_vds();
             core.charge(hw::CostKind::kPgdSwitch, core.costs().vds_alloc);
             ++stats_.vds_allocs;
+            tm::metric_add(tm::Metric::kVdsAlloc, 1, core.id());
             sim::trace({sim::TraceEvent::kVdsCreate, core.now(),
                         task.tid(), vdom, cur.id(), fresh->id()});
             task.add_owned(fresh);
             proc_->switch_vds(core, task, *fresh, hw::CostKind::kPgdSwitch);
             ++stats_.vds_switches;
+            tm::metric_add(tm::Metric::kVdsSwitch, 1, core.id());
             auto free = fresh->find_free_pdom(std::nullopt);
             map_into(core, *fresh, vdom, *free, hw::CostKind::kMemSync);
             fresh->touch(vdom, core.now());
@@ -147,8 +159,10 @@ DomainVirtualizer::migrate(hw::Core &core, kernel::Task &task,
 {
     kernel::Vds &cur = *task.vds();
     const hw::CostTable &costs = core.costs();
+    tm::Span span("migrate", core, task.tid(), "virt");
     core.charge(hw::CostKind::kMigration, costs.migrate_fixed);
     ++stats_.migrations;
+    tm::metric_add(tm::Metric::kMigration, 1, core.id());
     sim::trace({sim::TraceEvent::kMigration, core.now(), task.tid(), vdom,
                 cur.id(), target.id()});
 
@@ -217,8 +231,10 @@ DomainVirtualizer::evict_and_map(hw::Core &core, kernel::Task &task,
         return std::nullopt;
 
     VdomId victim = vds.vdom_at(*victim_pdom);
+    tm::Span span("evict", core, task.tid(), "virt");
     core.charge(hw::CostKind::kEviction, costs.evict_fixed);
     ++stats_.evictions;
+    tm::metric_add(tm::Metric::kHlruEvict, 1, core.id());
     sim::trace({sim::TraceEvent::kEvict, core.now(), task.tid(), victim,
                 vds.id(), vds.id()});
     // Disable the victim's pages (PMD fast path + minimal TLB flushes are

@@ -1,0 +1,399 @@
+/// \file
+/// Telemetry tests: metrics registry (counters/gauges/histograms, shard
+/// merging, dynamic registration), span tracing, Chrome-trace export, and
+/// the cycle-identity guarantee (instrumentation never charges cycles).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "common.h"
+#include "hw/cost_kind.h"
+#include "sim/trace.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+#include "telemetry/trace_export.h"
+
+namespace vdom::telemetry {
+namespace {
+
+using kernel::Task;
+using ::vdom::testing::World;
+
+TEST(MetricsRegistry, CountersMergeAcrossShards)
+{
+    MetricsRegistry registry(4);
+    registry.add(Metric::kTlbMiss, 3, 0);
+    registry.add(Metric::kTlbMiss, 5, 1);
+    registry.add(Metric::kTlbMiss, 7, 3);
+    EXPECT_EQ(registry.value(Metric::kTlbMiss), 15u);
+    EXPECT_EQ(registry.value(Metric::kTlbHit), 0u);
+}
+
+TEST(MetricsRegistry, OutOfRangeShardFoldsIntoShardZero)
+{
+    MetricsRegistry registry(2);
+    registry.add(Metric::kWrvdrCalls, 1, 99);
+    EXPECT_EQ(registry.value(Metric::kWrvdrCalls), 1u);
+    auto id = static_cast<MetricId>(Metric::kWrvdrCalls);
+    EXPECT_EQ(registry.shard_value(id, 0), 1u);
+    EXPECT_EQ(registry.shard_value(id, 1), 0u);
+}
+
+TEST(MetricsRegistry, GaugeSetsPerShard)
+{
+    MetricsRegistry registry(2);
+    registry.set(Metric::kVdsCount, 4, 0);
+    registry.set(Metric::kVdsCount, 4, 0);  // Overwrites, no accumulation.
+    registry.set(Metric::kVdsCount, 2, 1);
+    EXPECT_EQ(registry.value(Metric::kVdsCount), 6u);
+}
+
+TEST(MetricsRegistry, DynamicRegistration)
+{
+    MetricsRegistry registry(2);
+    MetricId id = registry.register_metric("bench.custom",
+                                           MetricKind::kCounter);
+    EXPECT_GE(id, kNumWellKnownMetrics);
+    registry.add(id, 9, 1);
+    EXPECT_EQ(registry.value(id), 9u);
+    // Re-registering the same name returns the same id.
+    EXPECT_EQ(registry.register_metric("bench.custom", MetricKind::kCounter),
+              id);
+    EXPECT_EQ(registry.name(id), "bench.custom");
+    EXPECT_EQ(registry.kind(id), MetricKind::kCounter);
+}
+
+TEST(MetricsRegistry, SnapshotSkipsZeroesByDefault)
+{
+    MetricsRegistry registry(1);
+    registry.add(Metric::kShootdowns, 2);
+    auto samples = registry.snapshot();
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_EQ(samples[0].name, "shootdown.count");
+    EXPECT_EQ(samples[0].value, 2u);
+    EXPECT_GE(registry.snapshot(/*include_zeroes=*/true).size(),
+              kNumWellKnownMetrics);
+}
+
+TEST(MetricsRegistry, ResetZeroesEverything)
+{
+    MetricsRegistry registry(2);
+    registry.add(Metric::kTlbHit, 5, 1);
+    registry.observe(Metric::kWrvdrLatency, 100, 0);
+    registry.reset();
+    EXPECT_EQ(registry.value(Metric::kTlbHit), 0u);
+    EXPECT_EQ(registry.histogram(Metric::kWrvdrLatency).count, 0u);
+}
+
+TEST(Histogram, Log2BucketMath)
+{
+    EXPECT_EQ(Histogram::bucket_of(0), 0u);
+    EXPECT_EQ(Histogram::bucket_of(1), 1u);
+    EXPECT_EQ(Histogram::bucket_of(2), 2u);
+    EXPECT_EQ(Histogram::bucket_of(3), 2u);
+    EXPECT_EQ(Histogram::bucket_of(4), 3u);
+    EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+    EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+    EXPECT_EQ(Histogram::bucket_bound(0), 0u);
+    EXPECT_EQ(Histogram::bucket_bound(2), 3u);
+    EXPECT_EQ(Histogram::bucket_bound(11), 2047u);
+}
+
+TEST(Histogram, PercentilesAndMean)
+{
+    Histogram h;
+    // 90 cheap samples (value 10, bucket bound 15) and 10 expensive ones
+    // (value 1000, bucket bound 1023).
+    for (int i = 0; i < 90; ++i)
+        h.observe(10);
+    for (int i = 0; i < 10; ++i)
+        h.observe(1000);
+    EXPECT_EQ(h.count, 100u);
+    EXPECT_EQ(h.percentile(0.50), 15u);
+    EXPECT_EQ(h.percentile(0.89), 15u);
+    EXPECT_EQ(h.percentile(0.99), 1023u);
+    EXPECT_DOUBLE_EQ(h.mean(), (90.0 * 10 + 10.0 * 1000) / 100.0);
+    EXPECT_EQ(Histogram{}.percentile(0.5), 0u);  // Empty histogram.
+}
+
+TEST(Histogram, MergeAddsBucketsCountAndSum)
+{
+    Histogram a, b;
+    a.observe(5);
+    b.observe(5);
+    b.observe(500);
+    a += b;
+    EXPECT_EQ(a.count, 3u);
+    EXPECT_EQ(a.sum, 510u);
+    EXPECT_EQ(a.buckets[Histogram::bucket_of(5)], 2u);
+    EXPECT_EQ(a.buckets[Histogram::bucket_of(500)], 1u);
+}
+
+TEST(MetricsRegistry, HistogramMergesShards)
+{
+    MetricsRegistry registry(2);
+    registry.observe(Metric::kShootdownLatency, 100, 0);
+    registry.observe(Metric::kShootdownLatency, 200, 1);
+    Histogram h = registry.histogram(Metric::kShootdownLatency);
+    EXPECT_EQ(h.count, 2u);
+    EXPECT_EQ(h.sum, 300u);
+}
+
+TEST(MetricNames, WellKnownTableIsComplete)
+{
+    for (std::size_t i = 0; i < kNumWellKnownMetrics; ++i) {
+        auto m = static_cast<Metric>(i);
+        ASSERT_NE(metric_name(m), nullptr);
+        EXPECT_GT(std::string(metric_name(m)).size(), 0u);
+        // Naming scheme: histograms end in "_cycles".
+        std::string name = metric_name(m);
+        bool cycles_suffix = name.size() > 7 &&
+                             name.substr(name.size() - 7) == "_cycles";
+        EXPECT_EQ(metric_kind(m) == MetricKind::kHistogram, cycles_suffix)
+            << name;
+    }
+}
+
+TEST(SpanTracer, NestingDepthAndDrops)
+{
+    SpanTracer tracer(/*max_events=*/5);
+    tracer.begin("a", 0, 0, 1);
+    tracer.begin("b", 1, 0, 1);
+    tracer.begin("c", 2, 0, 1);
+    tracer.end("c", 3, 0, 1);
+    tracer.instant("mark", 4, 0, 1);
+    tracer.end("b", 5, 0, 1);  // Over capacity: dropped.
+    EXPECT_EQ(tracer.events().size(), 5u);
+    EXPECT_EQ(tracer.dropped(), 1u);
+    EXPECT_EQ(tracer.max_depth(), 3u);
+    tracer.clear();
+    EXPECT_TRUE(tracer.events().empty());
+    EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(SpanTracer, DepthIsPerCoreTidTrack)
+{
+    SpanTracer tracer;
+    tracer.begin("a", 0, 0, 1);
+    tracer.begin("a", 0, 1, 1);  // Different core: independent track.
+    tracer.begin("a", 0, 0, 2);  // Different tid: independent track.
+    EXPECT_EQ(tracer.max_depth(), 1u);
+}
+
+TEST(SpanHooks, NullSinkIsSafeAndScopedAttachRestores)
+{
+    set_span_sink(nullptr);
+    span_begin("x", 0, 0, 0);  // Must not crash.
+    span_end("x", 1, 0, 0);
+    SpanTracer outer, inner;
+    {
+        ScopedSpanTrace attach_outer(outer);
+        span_instant("o", 0, 0, 0);
+        {
+            ScopedSpanTrace attach_inner(inner);
+            span_instant("i", 0, 0, 0);
+        }
+        span_instant("o", 1, 0, 0);
+    }
+    EXPECT_EQ(span_sink(), nullptr);
+    EXPECT_EQ(outer.events().size(), 2u);
+    EXPECT_EQ(inner.events().size(), 1u);
+}
+
+TEST(MetricHooks, NullSinkIsSafeAndScopedAttachRestores)
+{
+    set_metrics_sink(nullptr);
+    metric_add(Metric::kTlbHit);  // Must not crash.
+    metric_set(Metric::kVdsCount, 3);
+    metric_observe(Metric::kWrvdrLatency, 10);
+    MetricsRegistry registry(1);
+    {
+        ScopedMetrics attach(registry);
+        metric_add(Metric::kTlbHit, 2);
+    }
+    EXPECT_EQ(metrics_sink(), nullptr);
+    EXPECT_EQ(registry.value(Metric::kTlbHit), 2u);
+}
+
+TEST(JsonWriter, EscapesAndNests)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.begin_object();
+    w.key("s").value("a\"b\\c\n");
+    w.key("arr").begin_array().value(1).value(2.5).value(true).end_array();
+    w.key("nested").begin_object().key("k").value(std::uint64_t{7})
+        .end_object();
+    w.end_object();
+    EXPECT_EQ(out.str(),
+              "{\"s\":\"a\\\"b\\\\c\\n\",\"arr\":[1,2.5,true],"
+              "\"nested\":{\"k\":7}}");
+}
+
+TEST(ChromeTrace, ExportsEventsWithAttribution)
+{
+    SpanTracer tracer;
+    tracer.begin("request", 100, 0, 7, "httpd");
+    tracer.begin("wrvdr", 110, 0, 7, "api");
+    tracer.end("wrvdr", 150, 0, 7, "api");
+    tracer.instant("shootdown", 160, 1, 0, "kernel");
+    tracer.end("request", 200, 0, 7, "httpd");
+
+    MetricsRegistry registry(2);
+    registry.add(Metric::kWrvdrCalls, 1);
+
+    std::string json = chrome_trace_json(tracer, &registry);
+    // Structural spot-checks: event array, phases, attribution, metadata.
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"api\""), std::string::npos);
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    // The attached registry is appended as a self-describing block.
+    EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(json.find("\"api.wrvdr\":1"), std::string::npos);
+    // No dropped events -> no droppedEvents key.
+    EXPECT_EQ(json.find("droppedEvents"), std::string::npos);
+}
+
+TEST(ChromeTrace, ReportsDrops)
+{
+    SpanTracer tracer(1);
+    tracer.instant("kept", 0, 0, 0);
+    tracer.instant("lost", 1, 0, 0);
+    std::string json = chrome_trace_json(tracer);
+    EXPECT_NE(json.find("\"droppedEvents\":1"), std::string::npos);
+}
+
+TEST(CycleBreakdown, OverheadExcludesComputeIoAndIdle)
+{
+    hw::CycleBreakdown b;
+    b.add(hw::CostKind::kCompute, 1000);
+    b.add(hw::CostKind::kIo, 500);
+    b.add(hw::CostKind::kIdle, 250);
+    b.add(hw::CostKind::kApi, 30);
+    b.add(hw::CostKind::kEviction, 20);
+    b.add(hw::CostKind::kShootdown, 10);
+    EXPECT_EQ(b.total(), 1810u);
+    EXPECT_EQ(b.overhead(), 60u);
+}
+
+TEST(CycleBreakdown, MergeCoversEveryCostKind)
+{
+    hw::CycleBreakdown a, b;
+    for (std::size_t i = 0; i < hw::kNumCostKinds; ++i) {
+        a.add(static_cast<hw::CostKind>(i), i + 1);
+        b.add(static_cast<hw::CostKind>(i), 10 * (i + 1));
+    }
+    a += b;
+    for (std::size_t i = 0; i < hw::kNumCostKinds; ++i)
+        EXPECT_EQ(a.get(static_cast<hw::CostKind>(i)), 11 * (i + 1))
+            << cost_kind_name(static_cast<hw::CostKind>(i));
+}
+
+/// Drives a deterministic workload touching the instrumented paths: wrvdr
+/// churn past the pdom limit (evictions, map hits), protected accesses
+/// (TLB, faults, sigsegv) and a remote shootdown.
+void
+drive_workload(World &world)
+{
+    Task *task = world.ready_thread(/*nas=*/1);
+    std::size_t usable = world.machine.params().usable_pdoms();
+    std::vector<std::pair<VdomId, hw::Vpn>> doms;
+    for (std::size_t i = 0; i < usable + 2; ++i)
+        doms.push_back(world.make_domain(1));
+    for (int round = 0; round < 3; ++round) {
+        for (auto &[v, vpn] : doms) {
+            world.sys.wrvdr(world.core(0), *task, v, VPerm::kFullAccess);
+            world.sys.access(world.core(0), *task, vpn, true);
+            world.sys.wrvdr(world.core(0), *task, v, VPerm::kAccessDisable);
+        }
+    }
+    // A denied access (sigsegv path) and a remote shootdown.
+    world.sys.access(world.core(0), *task, doms[0].second, true);
+    world.spawn(1);
+    world.proc.shootdown().shoot(world.core(0), 0b0010,
+                                 kernel::FlushKind::kAll);
+}
+
+/// The zero-cost contract: attaching every telemetry sink must not change
+/// a single simulated cycle — clocks and breakdowns are bit-identical to
+/// an uninstrumented run.
+TEST(CycleIdentity, SinksNeverChargeCycles)
+{
+    // Plain run, no sinks.
+    set_metrics_sink(nullptr);
+    set_span_sink(nullptr);
+    sim::set_trace_sink(nullptr);
+    auto plain = std::unique_ptr<World>(World::x86(4));
+    drive_workload(*plain);
+
+    // Instrumented run: metrics + spans + event trace all attached.
+    auto traced = std::unique_ptr<World>(World::x86(4));
+    MetricsRegistry registry(4);
+    SpanTracer spans;
+    sim::Tracer events;
+    {
+        ScopedMetrics attach_metrics(registry);
+        ScopedSpanTrace attach_spans(spans);
+        sim::ScopedTrace attach_events(events);
+        drive_workload(*traced);
+    }
+
+    // The instrumentation observed real activity...
+    EXPECT_GT(registry.value(Metric::kWrvdrCalls), 0u);
+    EXPECT_GT(registry.value(Metric::kHlruEvict), 0u);
+    EXPECT_GT(registry.value(Metric::kSigsegv), 0u);
+    EXPECT_GT(registry.value(Metric::kShootdowns), 0u);
+    EXPECT_GT(registry.histogram(Metric::kWrvdrLatency).count, 0u);
+    EXPECT_GT(spans.events().size(), 0u);
+    EXPECT_GT(events.total(), 0u);
+
+    // ...and charged exactly nothing for it.
+    for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_EQ(plain->core(c).now(), traced->core(c).now()) << c;
+    hw::CycleBreakdown pb = plain->machine.total_breakdown();
+    hw::CycleBreakdown tb = traced->machine.total_breakdown();
+    for (std::size_t i = 0; i < hw::kNumCostKinds; ++i)
+        EXPECT_EQ(pb.by_kind[i], tb.by_kind[i])
+            << cost_kind_name(static_cast<hw::CostKind>(i));
+}
+
+/// Telemetry counters line up with the event trace for the same run.
+TEST(Integration, MetricsAgreeWithEventTrace)
+{
+    auto world = std::unique_ptr<World>(World::x86(2));
+    MetricsRegistry registry(2);
+    sim::Tracer events(1 << 16);
+    {
+        ScopedMetrics attach_metrics(registry);
+        sim::ScopedTrace attach_events(events);
+        Task *task = world->ready_thread(/*nas=*/1);
+        std::size_t usable = world->machine.params().usable_pdoms();
+        for (std::size_t i = 0; i < usable + 2; ++i) {
+            auto [v, vpn] = world->make_domain(1);
+            (void)vpn;
+            world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+            world->sys.wrvdr(world->core(0), *task, v,
+                             VPerm::kAccessDisable);
+        }
+    }
+    EXPECT_EQ(registry.value(Metric::kHlruEvict),
+              events.count(sim::TraceEvent::kEvict));
+    EXPECT_EQ(registry.value(Metric::kDomainMapFree),
+              events.count(sim::TraceEvent::kMapFree));
+    EXPECT_EQ(registry.value(Metric::kSigsegv),
+              events.count(sim::TraceEvent::kSigsegv));
+}
+
+}  // namespace
+}  // namespace vdom::telemetry

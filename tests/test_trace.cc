@@ -40,6 +40,51 @@ TEST(Tracer, RingBounds)
     EXPECT_DOUBLE_EQ(tracer.records().front().when, 6.0);
 }
 
+TEST(Tracer, ZeroCapacityRetainsNothing)
+{
+    Tracer tracer(0);
+    for (int i = 0; i < 5; ++i)
+        tracer.record({TraceEvent::kFault, double(i), 0, 0, 0, 0});
+    EXPECT_TRUE(tracer.records().empty());
+    EXPECT_EQ(tracer.total(), 5u);  // Drops are still counted.
+    EXPECT_EQ(tracer.count(TraceEvent::kFault), 0u);
+    std::ostringstream out;
+    tracer.dump(out);  // Must not crash on an empty ring.
+}
+
+TEST(Tracer, EventNameCoversEveryValue)
+{
+    const TraceEvent all[] = {
+        TraceEvent::kMapFree, TraceEvent::kEvict,  TraceEvent::kVdsSwitch,
+        TraceEvent::kMigration, TraceEvent::kVdsCreate, TraceEvent::kFault,
+        TraceEvent::kSigsegv, TraceEvent::kShootdown,
+    };
+    for (TraceEvent e : all) {
+        std::string name = trace_event_name(e);
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "?");
+        // format() leads with the event name after the timestamp.
+        std::string line = Tracer::format({e, 1, 0, 0, 0, 0});
+        EXPECT_NE(line.find(name), std::string::npos) << name;
+    }
+    EXPECT_STREQ(trace_event_name(TraceEvent::kMapFree), "map_free");
+    EXPECT_STREQ(trace_event_name(TraceEvent::kShootdown), "shootdown");
+}
+
+TEST(Tracer, DumpListsEveryRetainedRecord)
+{
+    Tracer tracer(8);
+    tracer.record({TraceEvent::kMapFree, 10, 1, 2, 0, 0});
+    tracer.record({TraceEvent::kVdsCreate, 20, 3, 4, 0, 1});
+    std::ostringstream out;
+    tracer.dump(out);
+    std::string text = out.str();
+    EXPECT_NE(text.find(Tracer::format(tracer.records()[0])),
+              std::string::npos);
+    EXPECT_NE(text.find(Tracer::format(tracer.records()[1])),
+              std::string::npos);
+}
+
 TEST(Tracer, NoSinkNoCost)
 {
     set_trace_sink(nullptr);
