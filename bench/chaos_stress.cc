@@ -1,0 +1,135 @@
+/// \file
+/// Fault-armed churn workload (robustness bench).
+///
+/// Runs the chaos harness's randomized grant/revoke/access/free mix on
+/// both architectures, once unarmed (clean baseline) and once with every
+/// injection site armed, reporting fault counts and the cycle breakdown.
+/// The run is fully seeded: the same `--seed` produces bit-identical JSON
+/// (scripts/run_all.sh diffs two runs to prove it).
+///
+/// Usage: chaos_stress [--quick] [--seed N] [--json out.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/chaos.h"
+#include "sim/fault.h"
+
+namespace {
+
+using namespace vdom;
+using bench::BenchRecord;
+using bench::BenchReport;
+
+/// Every site armed with the probabilities used for the stress run.
+std::vector<std::pair<sim::FaultSite, sim::FaultSpec>>
+all_sites_armed()
+{
+    using sim::FaultSite;
+    return {
+        {FaultSite::kTlbEntryDrop, {.probability = 0.02}},
+        {FaultSite::kPteWriteDelay, {.probability = 0.05}},
+        {FaultSite::kPermRegWriteFail, {.probability = 0.05}},
+        {FaultSite::kIpiDrop, {.probability = 0.10}},
+        {FaultSite::kAsidExhaustion, {.probability = 0.02}},
+        {FaultSite::kVdsAllocFail, {.probability = 0.25}},
+        {FaultSite::kVdtAllocFail, {.probability = 0.10}},
+        {FaultSite::kVdrExhausted, {.probability = 0.25}},
+        {FaultSite::kGateEntryDenied, {.probability = 0.05}},
+    };
+}
+
+int
+run_config(BenchReport &report, hw::ArchKind arch, bool armed, int ops,
+           std::uint64_t seed)
+{
+    sim::ChaosConfig config;
+    config.arch = arch;
+    config.ops = ops;
+    config.seed = seed;
+    if (armed)
+        config.faults = all_sites_armed();
+
+    telemetry::MetricsRegistry registry(config.cores);
+    sim::ChaosHarness harness(config);
+    sim::ChaosResult result;
+    {
+        telemetry::ScopedMetrics attach(registry);
+        result = harness.run();
+    }
+
+    std::printf("%-4s %-7s ops=%-6llu faults=%-6llu retries=%-5llu "
+                "transient=%-5llu ok=%-6llu denied=%-6llu checks=%llu\n",
+                hw::arch_name(arch), armed ? "armed" : "clean",
+                static_cast<unsigned long long>(result.ops),
+                static_cast<unsigned long long>(result.faults_injected),
+                static_cast<unsigned long long>(registry.value(
+                    telemetry::Metric::kShootdownRetries)),
+                static_cast<unsigned long long>(result.transient_failures),
+                static_cast<unsigned long long>(result.ok_accesses),
+                static_cast<unsigned long long>(result.denied_accesses),
+                static_cast<unsigned long long>(result.invariant_checks));
+    if (!result.ok()) {
+        std::fprintf(stderr, "chaos_stress: INVARIANT VIOLATION: %s\n",
+                     result.first_violation.c_str());
+        return 1;
+    }
+
+    BenchRecord &rec = report.add();
+    rec.config("arch", hw::arch_name(arch))
+        .config("faults", armed ? "all_sites" : "none")
+        .config("cores", static_cast<std::uint64_t>(config.cores))
+        .config("threads", static_cast<std::uint64_t>(config.threads))
+        .config("domains", static_cast<std::uint64_t>(config.domains))
+        .config("ops", static_cast<std::uint64_t>(config.ops))
+        .config("seed", seed);
+    rec.metrics_from(registry)
+        .metric("chaos.ok_accesses",
+                static_cast<double>(result.ok_accesses))
+        .metric("chaos.denied_accesses",
+                static_cast<double>(result.denied_accesses))
+        .metric("chaos.transient_failures",
+                static_cast<double>(result.transient_failures))
+        .metric("chaos.invariant_checks",
+                static_cast<double>(result.invariant_checks))
+        .metric("chaos.violations",
+                static_cast<double>(result.violations))
+        .metric("chaos.max_clock", static_cast<double>(result.max_clock));
+    for (std::size_t s = 0; s < sim::kNumFaultSites; ++s) {
+        if (result.fires_by_site[s] == 0)
+            continue;
+        rec.metric(std::string("fault.") +
+                       sim::fault_site_name(static_cast<sim::FaultSite>(s)),
+                   static_cast<double>(result.fires_by_site[s]));
+    }
+    rec.breakdown(result.breakdown);
+    rec.percentiles_from(
+        registry.histogram(telemetry::Metric::kWrvdrLatency));
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = bench::quick_mode(argc, argv);
+    int ops = quick ? 400 : 4000;
+    std::string seed_arg = bench::arg_value(argc, argv, "--seed");
+    std::uint64_t seed =
+        seed_arg.empty() ? 42 : std::strtoull(seed_arg.c_str(), nullptr, 10);
+
+    std::printf("chaos_stress: fault-armed churn (seed %llu)\n",
+                static_cast<unsigned long long>(seed));
+    BenchReport report("chaos_stress", argc, argv);
+    int rc = 0;
+    for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm}) {
+        rc |= run_config(report, arch, /*armed=*/false, ops, seed);
+        rc |= run_config(report, arch, /*armed=*/true, ops, seed);
+    }
+    report.write();
+    return rc;
+}

@@ -49,6 +49,16 @@ for b in build/bench/*; do
     python3 scripts/check_bench_json.py "$json"
 done
 
+# Fault-injection determinism gate: the chaos bench is fully seeded, so a
+# second run with the same seed must produce byte-identical JSON.  The
+# rerun lands outside results/json so it never pollutes the aggregation.
+echo "== chaos_stress determinism check =="
+./build/bench/chaos_stress $QUICK --json results/chaos_stress_rerun.json \
+    > /dev/null 2>&1
+cmp results/json/chaos_stress.json results/chaos_stress_rerun.json
+rm -f results/chaos_stress_rerun.json
+echo "chaos_stress: two seeded runs byte-identical"
+
 # Aggregate every bench's records into one summary document.
 python3 - <<'EOF'
 import json, pathlib

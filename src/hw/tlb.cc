@@ -3,6 +3,7 @@
 
 #include "hw/tlb.h"
 
+#include "sim/fault.h"
 #include "telemetry/metrics.h"
 
 namespace vdom::hw {
@@ -13,6 +14,15 @@ std::optional<TlbEntry>
 Tlb::lookup(Asid asid, Vpn vpn)
 {
     auto it = map_.find(make_key(asid, vpn));
+    if (it != map_.end() &&
+        sim::fault_fires(sim::FaultSite::kTlbEntryDrop)) {
+        // Injected spurious invalidation: the entry vanishes and the
+        // lookup misses; the subsequent page-table walk re-fills it.
+        lru_.erase(it->second);
+        map_.erase(it);
+        it = map_.end();
+        ++stats_.fault_drops;
+    }
     if (it == map_.end()) {
         ++stats_.misses;
         tm::metric_add(tm::Metric::kTlbMiss, 1, owner_);

@@ -35,6 +35,7 @@ class Tlb {
         std::uint64_t flushes_asid = 0;
         std::uint64_t flushed_pages = 0;  ///< Entries dropped by range flush.
         std::uint64_t evictions = 0;      ///< Capacity evictions.
+        std::uint64_t fault_drops = 0;    ///< Injected spurious invalidations.
     };
 
     /// \param owner  core id used as the telemetry shard for this TLB's

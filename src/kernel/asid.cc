@@ -5,6 +5,7 @@
 
 #include <limits>
 
+#include "sim/fault.h"
 #include "telemetry/metrics.h"
 
 namespace vdom::kernel {
@@ -38,6 +39,17 @@ X86PcidAllocator::assign(std::size_t core, std::uint64_t ctx_id)
 {
     ++tick_;
     auto &core_slots = slots_[core];
+    // Injected PCID-cache thrash: the context's slot (if any) is treated
+    // as lost, forcing the recycle path and its flush — the behaviour of
+    // a cache too small for the working set.
+    bool forced =
+        sim::fault_fires(sim::FaultSite::kAsidExhaustion);
+    if (forced) {
+        for (Slot &slot : core_slots) {
+            if (slot.ctx_id == ctx_id)
+                slot.ctx_id = 0;
+        }
+    }
     // Hit: context already cached on this core.
     for (Slot &slot : core_slots) {
         if (slot.ctx_id == ctx_id) {
@@ -48,10 +60,12 @@ X86PcidAllocator::assign(std::size_t core, std::uint64_t ctx_id)
     // Miss: take an empty slot, else recycle the LRU one (which implies a
     // flush of that PCID when the generation check fails, as in Linux).
     Slot *victim = nullptr;
-    for (Slot &slot : core_slots) {
-        if (slot.ctx_id == 0) {
-            victim = &slot;
-            break;
+    if (!forced) {
+        for (Slot &slot : core_slots) {
+            if (slot.ctx_id == 0) {
+                victim = &slot;
+                break;
+            }
         }
     }
     bool recycled = false;
@@ -82,10 +96,14 @@ AsidAssignment
 ArmAsidAllocator::assign(std::size_t core, std::uint64_t ctx_id)
 {
     (void)core;
+    // Injected exhaustion: behave exactly as if the ASID space ran out,
+    // taking the full rollover path below (generation bump + flush-all).
+    bool forced =
+        sim::fault_fires(sim::FaultSite::kAsidExhaustion);
     auto it = active_.find(ctx_id);
-    if (it != active_.end())
+    if (!forced && it != active_.end())
         return {it->second, false, false};
-    if (used_ + 1 >= space_size_) {
+    if (forced || used_ + 1 >= space_size_) {
         // Generation rollover: every context must re-allocate, and all
         // TLBs are flushed (the caller broadcasts the flush).
         ++generation_;

@@ -3,6 +3,7 @@
 
 #include "kernel/mm.h"
 
+#include "sim/fault.h"
 #include "telemetry/metrics.h"
 
 namespace vdom::kernel {
@@ -118,6 +119,10 @@ MmStruct::assign_vdom(hw::Core &core, hw::Vpn start, std::uint64_t pages,
         if (vma->vdom != kCommonVdom && vma->vdom != vdom)
             return VdomStatus::kAlreadyAssigned;
     }
+    // Injected VDT allocation failure: reject before any VMA or page
+    // table has been touched, so the caller sees a clean failure.
+    if (sim::fault_fires(sim::FaultSite::kVdtAllocFail))
+        return VdomStatus::kResourceExhausted;
     // vdom_mprotect protects "pages containing any part within
     // [addr, addr+len-1]" — expand to whole-VMA-clamped page ranges and
     // split VMAs so the protected span is exactly covered.
@@ -383,10 +388,16 @@ MmStruct::charge_pt_ops(hw::Core &core, const hw::PtOps &ops,
                         hw::CostKind kind) const
 {
     const hw::CostTable &costs = params_->costs;
-    core.charge(kind,
-                costs.pte_update * static_cast<hw::Cycles>(ops.pte_writes) +
-                    costs.pmd_update *
-                        static_cast<hw::Cycles>(ops.pmd_writes));
+    hw::Cycles cycles =
+        costs.pte_update * static_cast<hw::Cycles>(ops.pte_writes) +
+        costs.pmd_update * static_cast<hw::Cycles>(ops.pmd_writes);
+    // Injected PTE write delay: one write hit a stalled cacheline and was
+    // re-issued — pure extra latency, no state change.
+    if ((ops.pte_writes || ops.pmd_writes) &&
+        sim::fault_fires(sim::FaultSite::kPteWriteDelay)) {
+        cycles += costs.pte_update;
+    }
+    core.charge(kind, cycles);
 }
 
 }  // namespace vdom::kernel

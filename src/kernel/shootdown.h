@@ -13,6 +13,7 @@
 
 #include "hw/arch.h"
 #include "hw/machine.h"
+#include "sim/fault.h"
 #include "sim/trace.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
@@ -30,6 +31,7 @@ enum class FlushKind : std::uint8_t {
 struct ShootdownStats {
     std::uint64_t shootdowns = 0;
     std::uint64_t ipis = 0;
+    std::uint64_t retries = 0;  ///< Dropped IPIs that were re-posted.
 };
 
 /// Executes TLB shootdowns over the simulated machine.
@@ -58,10 +60,27 @@ class ShootdownManager {
         const hw::CostTable &costs = initiator.costs();
         hw::Cycles start = initiator.now();
         std::uint64_t ipis = 0;
+        std::uint64_t retries = 0;
         for (std::size_t c = 0; c < machine_->num_cores(); ++c) {
             if (c == initiator.id() || !(cpu_bitmap & (1ULL << c)))
                 continue;
             hw::Core &target = machine_->core(c);
+            // An injected IPI drop times out on the initiator, which
+            // re-posts with linearly growing backoff.  Delivery is
+            // guaranteed within kMaxIpiRetries: after the last drop the
+            // re-post below goes through unconditionally.
+            for (int attempt = 1;
+                 attempt <= kMaxIpiRetries &&
+                 sim::fault_fires(sim::FaultSite::kIpiDrop);
+                 ++attempt) {
+                initiator.charge(hw::CostKind::kShootdown,
+                                 costs.ipi_post + costs.ipi_wait *
+                                     static_cast<hw::Cycles>(attempt));
+                ++retries;
+                telemetry::metric_add(
+                    telemetry::Metric::kShootdownRetries, 1,
+                    initiator.id());
+            }
             target.charge(hw::CostKind::kShootdown, costs.ipi_handle);
             hw::Asid use = target_current_asid ? target.asid() : asid;
             apply_flush(target, kind, use, vpn, count);
@@ -72,6 +91,7 @@ class ShootdownManager {
         if (ipis) {
             ++stats_.shootdowns;
             stats_.ipis += ipis;
+            stats_.retries += retries;
             sim::trace({sim::TraceEvent::kShootdown, initiator.now(), 0,
                         kInvalidVdom, 0, 0});
             std::size_t shard = initiator.id();
@@ -112,6 +132,10 @@ class ShootdownManager {
     void reset_stats() { stats_ = ShootdownStats{}; }
 
   private:
+    /// Re-post budget per target; the delivery after the last retry
+    /// always succeeds, so a shootdown can never hang.
+    static constexpr int kMaxIpiRetries = 4;
+
     void
     apply_flush(hw::Core &core, FlushKind kind, hw::Asid asid, hw::Vpn vpn,
                 std::uint64_t count)

@@ -1,0 +1,260 @@
+/// \file
+/// Chaos harness implementation.
+
+#include "sim/chaos.h"
+
+#include <algorithm>
+
+#include "sim/rng.h"
+
+namespace vdom::sim {
+
+namespace {
+
+/// The graceful-degradation statuses an armed run is allowed to surface.
+bool
+is_fault_status(VdomStatus st)
+{
+    return st == VdomStatus::kTransientFault ||
+           st == VdomStatus::kRetriesExhausted ||
+           st == VdomStatus::kResourceExhausted;
+}
+
+}  // namespace
+
+ChaosHarness::ChaosHarness(const ChaosConfig &config)
+    : config_(config),
+      params_(config.arch == hw::ArchKind::kX86
+                  ? hw::ArchParams::x86(config.cores)
+                  : hw::ArchParams::arm(config.cores)),
+      machine_(std::make_unique<hw::Machine>(params_)),
+      proc_(std::make_unique<kernel::Process>(*machine_)),
+      sys_(std::make_unique<VdomSystem>(*proc_)),
+      plan_(config.seed)
+{
+    for (const auto &[site, spec] : config_.faults)
+        plan_.arm(site, spec);
+    // World bring-up runs fault-free (the plan is attached only inside
+    // run()): chaos targets steady-state behaviour, not construction.
+    sys_->vdom_init(machine_->core(0));
+    for (std::size_t t = 0; t < config_.threads; ++t) {
+        std::size_t core_id = t % config_.cores;
+        kernel::Task *task = proc_->create_task();
+        proc_->switch_to(machine_->core(core_id), *task, false);
+        sys_->vdr_alloc(machine_->core(core_id), *task, 1 + t % 3);
+        tasks_.push_back(task);
+    }
+    for (std::size_t d = 0; d < config_.domains; ++d)
+        make_domain(1 + d % 3, d % 5 == 0, 0, nullptr);
+}
+
+ChaosHarness::~ChaosHarness() = default;
+
+bool
+ChaosHarness::make_domain(std::uint64_t pages, bool frequent,
+                          std::size_t core_id, VdomStatus *status)
+{
+    hw::Core &core = machine_->core(core_id);
+    VdomId vdom = sys_->vdom_alloc(core, frequent);
+    if (vdom == kInvalidVdom)
+        return false;
+    hw::Vpn vpn = proc_->mm().mmap(pages);
+    VdomStatus st = sys_->vdom_mprotect(core, vpn, pages, vdom);
+    if (status)
+        *status = st;
+    if (st != VdomStatus::kOk) {
+        sys_->vdom_free(core, vdom);
+        return false;
+    }
+    doms_.emplace_back(vdom, vpn);
+    return true;
+}
+
+ChaosResult
+ChaosHarness::run()
+{
+    ChaosResult result;
+    Rng rng(config_.seed + 0x9e3779b97f4a7c15ULL);
+    ScopedFaults armed(plan_);
+
+    for (int op = 0; op < config_.ops; ++op) {
+        std::size_t ti = rng.below(tasks_.size());
+        std::size_t core_id = ti % config_.cores;
+        kernel::Task &task = *tasks_[ti];
+        hw::Core &core = machine_->core(core_id);
+        // Keep the acting thread installed on its core (the switch runs
+        // the ASID path, where kAsidExhaustion fires).
+        proc_->switch_to(core, task, false);
+
+        switch (rng.below(8)) {
+          case 0:
+          case 1:
+          case 2: {
+            // Weighted toward grants: mapping pressure is what drives the
+            // interesting paths (eviction, VDS allocation, migration).
+            static constexpr VPerm kPerms[4] = {VPerm::kFullAccess,
+                                                VPerm::kFullAccess,
+                                                VPerm::kAccessDisable,
+                                                VPerm::kPinned};
+            VPerm perm = kPerms[rng.below(4)];
+            VdomId vdom = doms_[rng.below(doms_.size())].first;
+            VdomStatus st = sys_->wrvdr(core, task, vdom, perm);
+            if (is_fault_status(st)) {
+                ++result.transient_failures;
+            } else if (st != VdomStatus::kOk &&
+                       st != VdomStatus::kNoVdr) {
+                record_violation(result, op,
+                                 std::string("unexpected wrvdr status ") +
+                                     status_name(st));
+            }
+            break;
+          }
+          case 3:
+          case 4:
+          case 5: {
+            auto [vdom, vpn] = doms_[rng.below(doms_.size())];
+            bool write = rng.below(2) != 0;
+            const Vdr *vdr = task.vdr();
+            VPerm held = vdr ? vdr->get(vdom) : VPerm::kAccessDisable;
+            VAccess res = sys_->access(core, task, vpn, write);
+            // DESIGN.md invariant 1: outcome == VDR policy, always —
+            // injected faults may slow an access down, never change its
+            // verdict.
+            bool allowed = write ? held == VPerm::kFullAccess
+                                 : vperm_active(held);
+            if (res.ok != allowed) {
+                record_violation(
+                    result, op,
+                    "access outcome diverged from VDR policy (vdom " +
+                        std::to_string(vdom) + ", held " +
+                        vperm_name(held) + ")");
+            }
+            if (res.ok)
+                ++result.ok_accesses;
+            else
+                ++result.denied_accesses;
+            // Touch the page again: a successful first access filled the
+            // TLB, so this one exercises the hit path (where
+            // kTlbEntryDrop lives) and must reach the same verdict.
+            VAccess again = sys_->access(core, task, vpn, write);
+            if (again.ok != res.ok) {
+                record_violation(result, op,
+                                 "repeated access changed verdict (vdom " +
+                                     std::to_string(vdom) + ")");
+            }
+            break;
+          }
+          case 6: {
+            if (doms_.size() < 2 * config_.domains) {
+                VdomStatus st = VdomStatus::kOk;
+                if (!make_domain(1 + rng.below(3), rng.below(5) == 0,
+                                 core_id, &st)) {
+                    if (is_fault_status(st)) {
+                        ++result.transient_failures;
+                    } else {
+                        record_violation(
+                            result, op,
+                            std::string("unexpected mprotect status ") +
+                                status_name(st));
+                    }
+                }
+            } else if (doms_.size() > 4) {
+                std::size_t di = rng.below(doms_.size());
+                VdomStatus st =
+                    sys_->vdom_free(core, doms_[di].first);
+                if (st != VdomStatus::kOk) {
+                    record_violation(
+                        result, op,
+                        std::string("unexpected vdom_free status ") +
+                            status_name(st));
+                }
+                doms_.erase(doms_.begin() +
+                            static_cast<std::ptrdiff_t>(di));
+            }
+            break;
+          }
+          case 7: {
+            if (doms_.size() > 4 && rng.below(2) == 0) {
+                std::size_t di = rng.below(doms_.size());
+                VdomStatus st =
+                    sys_->vdom_free(core, doms_[di].first);
+                if (st != VdomStatus::kOk) {
+                    record_violation(
+                        result, op,
+                        std::string("unexpected vdom_free status ") +
+                            status_name(st));
+                }
+                doms_.erase(doms_.begin() +
+                            static_cast<std::ptrdiff_t>(di));
+            } else if (!task.has_vdr()) {
+                VdomStatus st =
+                    sys_->vdr_alloc(core, task, 1 + ti % 3);
+                if (is_fault_status(st))
+                    ++result.transient_failures;
+            } else if (rng.below(4) == 0) {
+                sys_->vdr_free(core, task);
+            }
+            break;
+          }
+        }
+        ++result.ops;
+        check_invariants(result, op);
+    }
+
+    result.faults_injected = plan_.total_fires();
+    for (std::size_t s = 0; s < kNumFaultSites; ++s) {
+        auto site = static_cast<FaultSite>(s);
+        result.occurrences_by_site[s] = plan_.occurrences(site);
+        result.fires_by_site[s] = plan_.fires(site);
+    }
+    result.breakdown = machine_->total_breakdown();
+    for (std::size_t c = 0; c < machine_->num_cores(); ++c)
+        result.max_clock = std::max(result.max_clock,
+                                    machine_->core(c).now());
+    return result;
+}
+
+void
+ChaosHarness::check_invariants(ChaosResult &result, int op)
+{
+    const kernel::MmStruct &mm = proc_->mm();
+    for (const auto &vds : mm.vdses()) {
+        ++result.invariant_checks;
+        // Invariant 3: every VDS domain map internally consistent.
+        if (!vds->check_consistency()) {
+            record_violation(result, op,
+                             "vds " + std::to_string(vds->id()) +
+                                 " domain map inconsistent");
+            continue;
+        }
+        for (auto [pdom, vdomid] : vds->mapped_pairs()) {
+            // Invariant 7: reserved pdoms / the API vdom never appear.
+            if (pdom < params_.num_reserved_pdoms ||
+                vdomid == kApiVdom) {
+                record_violation(result, op, "reserved domain mapped");
+                break;
+            }
+            // Freed vdoms must not linger in any domain map.
+            if (!mm.vdm().is_allocated(vdomid)) {
+                record_violation(result, op,
+                                 "freed vdom " + std::to_string(vdomid) +
+                                     " still mapped");
+                break;
+            }
+        }
+    }
+}
+
+void
+ChaosHarness::record_violation(ChaosResult &result, int op,
+                               const std::string &what)
+{
+    ++result.violations;
+    if (result.first_violation.empty()) {
+        result.first_violation = "op " + std::to_string(op) + " (seed " +
+                                 std::to_string(config_.seed) + ", " +
+                                 hw::arch_name(config_.arch) + "): " + what;
+    }
+}
+
+}  // namespace vdom::sim

@@ -1,0 +1,97 @@
+/// \file
+/// Chaos harness: randomized churn with an armed FaultPlan, checking the
+/// DESIGN.md invariants after every operation.
+///
+/// The harness owns a full simulated world (machine + process + VdomSystem,
+/// the same shape as tests/test_invariants.cc's World) and drives the op
+/// mix of the invariant sweep — grant/revoke/pin/access plus domain
+/// create/free and VDR churn — while injection sites fire underneath it.
+/// It is gtest-free so both tests/test_chaos.cc and bench/chaos_stress.cc
+/// can link it; violations are reported as data, not assertions.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hw/machine.h"
+#include "kernel/process.h"
+#include "sim/fault.h"
+#include "vdom/api.h"
+
+namespace vdom::sim {
+
+/// One chaos run's shape.  Everything is seeded: two runs with the same
+/// config produce bit-identical clocks, breakdowns and fault sequences.
+struct ChaosConfig {
+    hw::ArchKind arch = hw::ArchKind::kX86;
+    std::size_t cores = 4;
+    std::size_t threads = 4;
+    std::size_t domains = 24;
+    int ops = 500;
+    std::uint64_t seed = 1;
+    /// Sites to arm (fault decisions draw from a plan seeded with `seed`).
+    std::vector<std::pair<FaultSite, FaultSpec>> faults;
+};
+
+/// Outcome of one chaos run.
+struct ChaosResult {
+    std::uint64_t ops = 0;
+    std::uint64_t faults_injected = 0;
+    std::array<std::uint64_t, kNumFaultSites> occurrences_by_site{};
+    std::array<std::uint64_t, kNumFaultSites> fires_by_site{};
+    std::uint64_t ok_accesses = 0;
+    std::uint64_t denied_accesses = 0;
+    std::uint64_t transient_failures = 0;  ///< Graceful fault statuses seen.
+    std::uint64_t invariant_checks = 0;
+    std::uint64_t violations = 0;
+    std::string first_violation;  ///< Empty when every check held.
+    hw::CycleBreakdown breakdown;
+    hw::Cycles max_clock = 0;
+
+    bool ok() const { return violations == 0; }
+};
+
+/// Builds the world fault-free, then runs the churn with faults armed.
+class ChaosHarness {
+  public:
+    explicit ChaosHarness(const ChaosConfig &config);
+    ~ChaosHarness();
+
+    ChaosHarness(const ChaosHarness &) = delete;
+    ChaosHarness &operator=(const ChaosHarness &) = delete;
+
+    /// Runs the configured op count and returns the tally.  Callable once
+    /// per harness (the world is consumed by the churn).
+    ChaosResult run();
+
+    hw::Machine &machine() { return *machine_; }
+    kernel::Process &process() { return *proc_; }
+    VdomSystem &system() { return *sys_; }
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    /// vdom_alloc + mmap + vdom_mprotect; false when the assignment was
+    /// rejected (e.g. an injected VDT allocation failure).
+    bool make_domain(std::uint64_t pages, bool frequent,
+                     std::size_t core_id, VdomStatus *status);
+
+    void check_invariants(ChaosResult &result, int op);
+    void record_violation(ChaosResult &result, int op,
+                          const std::string &what);
+
+    ChaosConfig config_;
+    hw::ArchParams params_;
+    std::unique_ptr<hw::Machine> machine_;
+    std::unique_ptr<kernel::Process> proc_;
+    std::unique_ptr<VdomSystem> sys_;
+    FaultPlan plan_;
+    std::vector<kernel::Task *> tasks_;
+    std::vector<std::pair<VdomId, hw::Vpn>> doms_;
+};
+
+}  // namespace vdom::sim

@@ -1,0 +1,51 @@
+/// \file
+/// Fault-injection engine implementation.
+
+#include "sim/fault.h"
+
+namespace vdom::sim {
+
+namespace {
+FaultPlan *g_fault_sink = nullptr;
+}  // namespace
+
+FaultPlan *
+fault_sink()
+{
+    return g_fault_sink;
+}
+
+void
+set_fault_sink(FaultPlan *plan)
+{
+    g_fault_sink = plan;
+}
+
+bool
+FaultPlan::should_fire(FaultSite site)
+{
+    SiteState &st = state(site);
+    if (!st.armed)
+        return false;
+    ++st.occurrences;
+    if (st.occurrences <= st.spec.skip)
+        return false;
+    // The RNG is consumed for every post-skip occurrence of a
+    // probability-armed site — including over-budget ones — so the stream
+    // position depends only on the workload, not on earlier outcomes.
+    bool fire = false;
+    if (st.spec.probability > 0.0 && rng_.uniform() < st.spec.probability)
+        fire = true;
+    if (st.spec.every != 0 &&
+        (st.occurrences - st.spec.skip) % st.spec.every == 0) {
+        fire = true;
+    }
+    if (!fire || st.fires >= st.spec.max_fires)
+        return false;
+    ++st.fires;
+    ++total_fires_;
+    telemetry::metric_add(telemetry::Metric::kFaultsInjected);
+    return true;
+}
+
+}  // namespace vdom::sim

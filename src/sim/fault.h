@@ -1,0 +1,189 @@
+/// \file
+/// Deterministic fault injection (site x trigger x count).
+///
+/// The paper's correctness story (§5-§6) rests on the kernel surviving
+/// hostile schedules: ASID rollover storms, eviction under pressure, IPIs
+/// that arrive late.  This engine makes such adversity reproducible: a
+/// `FaultPlan` arms named sites across src/hw, src/kernel and src/vdom,
+/// and every decision flows through one seeded `sim::Rng`, so a failing
+/// run is replayed exactly by re-arming the same plan with the same seed.
+///
+/// Wiring follows the telemetry null-hook pattern (telemetry/metrics.h):
+/// the hook is a global pointer that is null by default, and `fault_fires`
+/// is a single predictable-branch pointer test when no plan is attached —
+/// an unarmed build stays cycle-identical (the cycle-identity test in
+/// tests/test_telemetry.cc pins this down).
+///
+/// Contract for injection sites: a firing site may charge simulated
+/// cycles and change *recoverable* state, but must degrade gracefully —
+/// every failure surfaces as a VdomStatus or a counted, bounded retry,
+/// never a crash or silent corruption.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "sim/rng.h"
+#include "telemetry/metrics.h"
+
+namespace vdom::sim {
+
+/// Named injection points, one per fail-capable operation.
+enum class FaultSite : std::uint8_t {
+    // hw
+    kTlbEntryDrop,     ///< TLB entry vanishes; lookup reports a miss.
+    kPteWriteDelay,    ///< A page-table write stalls and is re-issued.
+    kPermRegWriteFail, ///< Permission-register write fails; bounded retry.
+    // kernel
+    kIpiDrop,          ///< Shootdown IPI lost; re-posted with backoff.
+    kAsidExhaustion,   ///< Forced ASID rollover (ARM) / PCID thrash (x86).
+    kVdsAllocFail,     ///< VDS allocation fails; fall back to eviction.
+    kVdtAllocFail,     ///< VDT area allocation fails; mprotect rejected.
+    // vdom
+    kVdrExhausted,     ///< VDR slot allocation fails.
+    kGateEntryDenied,  ///< Secure call-gate entry aborted; retryable.
+    kNumSites,
+};
+
+constexpr std::size_t kNumFaultSites =
+    static_cast<std::size_t>(FaultSite::kNumSites);
+
+/// Returns a short label for \p site (used in logs and bench JSON).
+constexpr const char *
+fault_site_name(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::kTlbEntryDrop: return "tlb_entry_drop";
+      case FaultSite::kPteWriteDelay: return "pte_write_delay";
+      case FaultSite::kPermRegWriteFail: return "perm_reg_write_fail";
+      case FaultSite::kIpiDrop: return "ipi_drop";
+      case FaultSite::kAsidExhaustion: return "asid_exhaustion";
+      case FaultSite::kVdsAllocFail: return "vds_alloc_fail";
+      case FaultSite::kVdtAllocFail: return "vdt_alloc_fail";
+      case FaultSite::kVdrExhausted: return "vdr_exhausted";
+      case FaultSite::kGateEntryDenied: return "gate_entry_denied";
+      case FaultSite::kNumSites: break;
+    }
+    return "?";
+}
+
+/// Trigger for one armed site.  Both triggers may be combined; a site
+/// fires when either says so, subject to the \p max_fires budget.
+struct FaultSpec {
+    double probability = 0.0;  ///< Chance each occurrence fires.
+    std::uint64_t every = 0;   ///< Fire every Nth occurrence (0 = off).
+    std::uint64_t skip = 0;    ///< Occurrences to pass before arming.
+    std::uint64_t max_fires =
+        std::numeric_limits<std::uint64_t>::max();  ///< Fire budget.
+};
+
+/// An armed set of fault sites driven by one seeded RNG.
+///
+/// Determinism: the RNG is consumed once per occurrence of a
+/// probability-armed site, in program order, so identical workloads
+/// produce identical fire sequences.  Occurrences of unarmed sites are
+/// not counted and consume nothing.
+class FaultPlan {
+  public:
+    explicit FaultPlan(std::uint64_t seed = 1) : rng_(seed) {}
+
+    void
+    arm(FaultSite site, const FaultSpec &spec)
+    {
+        SiteState &st = state(site);
+        st.spec = spec;
+        st.armed = true;
+    }
+
+    void disarm(FaultSite site) { state(site).armed = false; }
+
+    bool armed(FaultSite site) const { return state(site).armed; }
+
+    /// Decides whether the current occurrence of \p site fires.  Called
+    /// from the injection sites via `fault_fires`; bumps
+    /// telemetry::Metric::kFaultsInjected on fire.
+    bool should_fire(FaultSite site);
+
+    /// Occurrences seen while the site was armed.
+    std::uint64_t
+    occurrences(FaultSite site) const
+    {
+        return state(site).occurrences;
+    }
+
+    /// Times the site actually fired.
+    std::uint64_t fires(FaultSite site) const { return state(site).fires; }
+
+    std::uint64_t total_fires() const { return total_fires_; }
+
+    /// Zeroes every occurrence/fire counter (the RNG keeps its stream).
+    void
+    reset_counts()
+    {
+        for (SiteState &st : sites_) {
+            st.occurrences = 0;
+            st.fires = 0;
+        }
+        total_fires_ = 0;
+    }
+
+  private:
+    struct SiteState {
+        FaultSpec spec;
+        bool armed = false;
+        std::uint64_t occurrences = 0;
+        std::uint64_t fires = 0;
+    };
+
+    SiteState &
+    state(FaultSite site)
+    {
+        return sites_[static_cast<std::size_t>(site)];
+    }
+    const SiteState &
+    state(FaultSite site) const
+    {
+        return sites_[static_cast<std::size_t>(site)];
+    }
+
+    Rng rng_;
+    std::array<SiteState, kNumFaultSites> sites_;
+    std::uint64_t total_fires_ = 0;
+};
+
+// -- Global hook (null by default, zero-cost when detached) ---------------
+
+/// The attached plan, or nullptr.
+FaultPlan *fault_sink();
+void set_fault_sink(FaultPlan *plan);
+
+/// True when the current occurrence of \p site must fail.  With no plan
+/// attached this is a single pointer test and never touches simulated
+/// time or the RNG.
+inline bool
+fault_fires(FaultSite site)
+{
+    if (FaultPlan *p = fault_sink())
+        return p->should_fire(site);
+    return false;
+}
+
+/// RAII attachment of a plan (restores the previous sink).
+class ScopedFaults {
+  public:
+    explicit ScopedFaults(FaultPlan &plan) : previous_(fault_sink())
+    {
+        set_fault_sink(&plan);
+    }
+    ~ScopedFaults() { set_fault_sink(previous_); }
+
+    ScopedFaults(const ScopedFaults &) = delete;
+    ScopedFaults &operator=(const ScopedFaults &) = delete;
+
+  private:
+    FaultPlan *previous_;
+};
+
+}  // namespace vdom::sim

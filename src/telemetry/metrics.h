@@ -50,6 +50,7 @@ enum class Metric : std::uint16_t {
     // kernel: shootdowns, ASID management, memory synchronization.
     kShootdowns,
     kShootdownIpis,
+    kShootdownRetries,
     kAsidRollover,
     kAsidRecycle,
     kMemsyncPages,
@@ -69,6 +70,8 @@ enum class Metric : std::uint16_t {
     kVdsSwitch,
     kMigration,
     kVdsAlloc,
+    // Fault injection (sim/fault.h).
+    kFaultsInjected,
     // Latency distributions (simulated cycles).
     kWrvdrLatency,
     kShootdownLatency,
@@ -96,6 +99,7 @@ constexpr std::array<MetricDef, kNumWellKnownMetrics> kMetricDefs = {{
     {"perm_reg.write", MetricKind::kCounter},
     {"shootdown.count", MetricKind::kCounter},
     {"shootdown.ipi", MetricKind::kCounter},
+    {"shootdown.retry", MetricKind::kCounter},
     {"asid.rollover", MetricKind::kCounter},
     {"asid.recycle", MetricKind::kCounter},
     {"mm.memsync_pages", MetricKind::kCounter},
@@ -114,6 +118,7 @@ constexpr std::array<MetricDef, kNumWellKnownMetrics> kMetricDefs = {{
     {"virt.vds_switch", MetricKind::kCounter},
     {"virt.migration", MetricKind::kCounter},
     {"virt.vds_alloc", MetricKind::kCounter},
+    {"fault.injected", MetricKind::kCounter},
     {"api.wrvdr_cycles", MetricKind::kHistogram},
     {"shootdown.latency_cycles", MetricKind::kHistogram},
     {"api.fault_cycles", MetricKind::kHistogram},

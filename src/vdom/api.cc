@@ -3,6 +3,7 @@
 
 #include "vdom/api.h"
 
+#include "sim/fault.h"
 #include "sim/trace.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
@@ -93,9 +94,30 @@ VdomSystem::vdom_free(hw::Core &core, VdomId vdom)
     // access-never pdom until (if ever) reassigned.
     for (const auto &vds : mm.vdses()) {
         if (auto pdom = vds->pdom_of(vdom)) {
+            // Clear the hardware slot on every core currently running
+            // this VDS: the pdom is about to be recycled and a stale FA
+            // must not survive onto its next occupant.
+            hw::Machine &machine = proc_->machine();
+            for (std::size_t c = 0; c < machine.num_cores(); ++c) {
+                if (vds->cpu_bitmap() & (1ULL << c)) {
+                    machine.core(c).perm_reg().set(
+                        *pdom, hw::Perm::kAccessDisable);
+                }
+            }
             mm.evict_vdom_from_vds(core, *vds, vdom);
             vds->unmap_pdom(*pdom);
         }
+    }
+    // Scrub the id from every thread's VDR: vdom_alloc may recycle it,
+    // and a stale grant must not carry over to the new incarnation
+    // (DESIGN.md invariant 1).
+    for (const auto &t : proc_->tasks()) {
+        Vdr *vdr = t->vdr();
+        if (!vdr)
+            continue;
+        if (vperm_active(vdr->get(vdom)))
+            t->clear_ref_home(vdom);
+        vdr->set(vdom, VPerm::kAccessDisable);
     }
     mm.vdm().free(vdom);
     return VdomStatus::kOk;
@@ -135,6 +157,10 @@ VdomSystem::vdr_alloc(hw::Core &core, kernel::Task &task, std::size_t nas)
     if (task.has_vdr())
         return VdomStatus::kVdrInUse;
     core.charge(hw::CostKind::kSyscall, core.costs().syscall);
+    // Injected VDR slot exhaustion: the kernel entry was paid but no VDR
+    // exists afterwards — the thread can retry once slots free up.
+    if (sim::fault_fires(sim::FaultSite::kVdrExhausted))
+        return VdomStatus::kResourceExhausted;
     task.alloc_vdr(nas == 0 ? 1 : nas);
     task.add_owned(task.vds());
     return VdomStatus::kOk;
@@ -208,12 +234,29 @@ VdomSystem::wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
     LatencyProbe latency(tm::Metric::kWrvdrLatency, core);
 
     const hw::CostTable &costs = core.costs();
+    // Injected call-gate entry denial (§6.3): the trusted entry aborted
+    // before reading the VDR.  The aborted entry still costs a call, but
+    // nothing is mutated — the caller may simply retry.
+    if (mode == ApiMode::kSecure &&
+        sim::fault_fires(sim::FaultSite::kGateEntryDenied)) {
+        core.charge(hw::CostKind::kApi, costs.api_call);
+        return VdomStatus::kTransientFault;
+    }
     charge_api_entry(core, mode);
     // VDR array update + permission arithmetic + register read/write.
     core.charge(hw::CostKind::kPermReg, costs.vdr_update + costs.perm_compute);
     if (proc_->params().user_perm_reg)
         core.charge(hw::CostKind::kPermReg, costs.perm_reg_read);
     core.charge(hw::CostKind::kPermReg, costs.perm_reg_write);
+    // Injected permission-register write failure: each failed write is
+    // re-issued (and charged) up to the retry budget; past it, the call
+    // gives up before touching the VDR, so no state diverges.
+    for (int retry = 1; sim::fault_fires(sim::FaultSite::kPermRegWriteFail);
+         ++retry) {
+        if (retry > kMaxPermRegRetries)
+            return VdomStatus::kRetriesExhausted;
+        core.charge(hw::CostKind::kPermReg, costs.perm_reg_write);
+    }
 
     Vdr &vdr = *task.vdr();
     VPerm old = vdr.set(vdom, perm);
@@ -261,18 +304,37 @@ VdomSystem::wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
     return VdomStatus::kOk;
 }
 
+VdomStatus
+VdomSystem::rdvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
+                  VPerm *out, ApiMode mode)
+{
+    ++stats_.rdvdr_calls;
+    tm::metric_add(tm::Metric::kRdvdrCalls, 1, core.id());
+    if (out)
+        *out = VPerm::kAccessDisable;
+    if (!initialized_)
+        return VdomStatus::kNotInitialized;
+    if (!task.has_vdr())
+        return VdomStatus::kNoVdr;
+    if (vdom == kApiVdom)
+        return VdomStatus::kPermissionDenied;
+    if (!proc_->mm().vdm().is_allocated(vdom))
+        return VdomStatus::kInvalidVdom;
+    const hw::CostTable &costs = core.costs();
+    charge_api_entry(core, mode);
+    core.charge(hw::CostKind::kPermReg, costs.vdr_update);
+    if (out)
+        *out = task.vdr()->get(vdom);
+    return VdomStatus::kOk;
+}
+
 VPerm
 VdomSystem::rdvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
                   ApiMode mode)
 {
-    ++stats_.rdvdr_calls;
-    tm::metric_add(tm::Metric::kRdvdrCalls, 1, core.id());
-    if (!task.has_vdr())
-        return VPerm::kAccessDisable;
-    const hw::CostTable &costs = core.costs();
-    charge_api_entry(core, mode);
-    core.charge(hw::CostKind::kPermReg, costs.vdr_update);
-    return task.vdr()->get(vdom);
+    VPerm perm = VPerm::kAccessDisable;
+    rdvdr(core, task, vdom, &perm, mode);
+    return perm;
 }
 
 VAccess

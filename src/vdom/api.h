@@ -89,7 +89,14 @@ class VdomSystem {
     VdomStatus wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
                      VPerm perm, ApiMode mode = ApiMode::kSecure);
 
-    /// Reads the calling thread's permission on \p vdom.
+    /// Reads the calling thread's permission on \p vdom into \p out,
+    /// reporting validation failures (kInvalidVdom for out-of-range or
+    /// freed ids) instead of silently defaulting.
+    VdomStatus rdvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
+                     VPerm *out, ApiMode mode = ApiMode::kSecure);
+
+    /// Convenience form: returns the permission, kAccessDisable on any
+    /// validation failure.
     VPerm rdvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
                 ApiMode mode = ApiMode::kSecure);
 
@@ -132,6 +139,10 @@ class VdomSystem {
 
   private:
     static constexpr std::uint64_t kApiRegionPages = 16;
+
+    /// Re-issue budget for injected permission-register write failures;
+    /// past it wrvdr returns kRetriesExhausted with nothing mutated.
+    static constexpr int kMaxPermRegRetries = 3;
 
     /// Charges the user-side cost of one API call and returns whether the
     /// exit check passed (always true for legitimate calls).

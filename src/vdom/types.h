@@ -85,6 +85,9 @@ enum class VdomStatus : std::uint8_t {
     kVdrInUse,         ///< vdr_alloc called twice.
     kIdExhausted,      ///< vdom id space overflow.
     kPermissionDenied, ///< Attempt to manipulate a reserved domain.
+    kTransientFault,   ///< Injected transient failure; safe to retry.
+    kRetriesExhausted, ///< Bounded retry loop gave up; nothing mutated.
+    kResourceExhausted,///< Kernel allocation (VDT/VDS/VDR) failed.
 };
 
 /// Returns a short label for \p status.
@@ -101,6 +104,9 @@ status_name(VdomStatus status)
       case VdomStatus::kVdrInUse: return "vdr_in_use";
       case VdomStatus::kIdExhausted: return "id_exhausted";
       case VdomStatus::kPermissionDenied: return "permission_denied";
+      case VdomStatus::kTransientFault: return "transient_fault";
+      case VdomStatus::kRetriesExhausted: return "retries_exhausted";
+      case VdomStatus::kResourceExhausted: return "resource_exhausted";
     }
     return "?";
 }

@@ -4,6 +4,7 @@
 #include "vdom/virt_algo.h"
 
 #include "kernel/mm.h"
+#include "sim/fault.h"
 #include "sim/trace.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
@@ -70,6 +71,12 @@ DomainVirtualizer::ensure_mapped(hw::Core &core, kernel::Task &task,
             return migrate(core, task, *vds, vdom);
     }
     // ❽ Allocate a new VDS and migrate there.
+    if (sim::fault_fires(sim::FaultSite::kVdsAllocFail)) {
+        // Injected allocation failure: degrade to eviction in the
+        // current VDS rather than failing the request — displaced vdoms
+        // fault back in later.
+        return evict_and_map(core, task, cur, vdom);
+    }
     kernel::Vds *fresh = mm.create_vds();
     core.charge(hw::CostKind::kMigration, core.costs().vds_alloc);
     ++stats_.vds_allocs;
@@ -132,7 +139,9 @@ DomainVirtualizer::switch_or_evict(hw::Core &core, kernel::Task &task,
             }
         }
         // Make the most of additional page tables within the nas budget.
-        if (task.owned_vdses().size() < task.nas_limit()) {
+        // (An injected VDS allocation failure drops through to eviction.)
+        if (task.owned_vdses().size() < task.nas_limit() &&
+            !sim::fault_fires(sim::FaultSite::kVdsAllocFail)) {
             kernel::Vds *fresh = mm.create_vds();
             core.charge(hw::CostKind::kPgdSwitch, core.costs().vds_alloc);
             ++stats_.vds_allocs;

@@ -217,5 +217,79 @@ TEST_F(ApiTest, StatsCount)
     EXPECT_EQ(world->sys.stats().rdvdr_calls, 1u);
 }
 
+// -- Argument validation: every entry point rejects bad vdom ids ----------
+
+TEST_F(ApiTest, MprotectRejectsOutOfRangeAndFreedIds)
+{
+    world->sys.vdom_init(world->core(0));
+    hw::Vpn vpn = world->proc.mm().mmap(2);
+    // Never-allocated / out-of-range ids.
+    EXPECT_EQ(world->sys.vdom_mprotect(world->core(0), vpn, 2, 9999),
+              VdomStatus::kInvalidVdom);
+    EXPECT_EQ(world->sys.vdom_mprotect(world->core(0), vpn, 2,
+                                       kInvalidVdom),
+              VdomStatus::kInvalidVdom);
+    // A freed id is as dead as a never-allocated one.
+    VdomId v = world->sys.vdom_alloc(world->core(0));
+    ASSERT_EQ(world->sys.vdom_free(world->core(0), v), VdomStatus::kOk);
+    EXPECT_EQ(world->sys.vdom_mprotect(world->core(0), vpn, 2, v),
+              VdomStatus::kInvalidVdom);
+    // No partial mutation: the region is still unassigned and assignable.
+    EXPECT_EQ(world->proc.mm().vdom_of(vpn), kCommonVdom);
+}
+
+TEST_F(ApiTest, WrvdrRejectsOutOfRangeAndFreedIds)
+{
+    Task *task = world->ready_thread();
+    EXPECT_EQ(world->sys.wrvdr(world->core(0), *task, 9999,
+                               VPerm::kFullAccess),
+              VdomStatus::kInvalidVdom);
+    VdomId v = world->sys.vdom_alloc(world->core(0));
+    ASSERT_EQ(world->sys.vdom_free(world->core(0), v), VdomStatus::kOk);
+    EXPECT_EQ(world->sys.wrvdr(world->core(0), *task, v,
+                               VPerm::kFullAccess),
+              VdomStatus::kInvalidVdom);
+}
+
+TEST_F(ApiTest, RdvdrReportsInvalidIdsViaStatus)
+{
+    Task *task = world->ready_thread();
+    VPerm out = VPerm::kFullAccess;
+    EXPECT_EQ(world->sys.rdvdr(world->core(0), *task, 9999, &out),
+              VdomStatus::kInvalidVdom);
+    // The out-param is defensively reset, never left at the caller's value.
+    EXPECT_EQ(out, VPerm::kAccessDisable);
+
+    VdomId v = world->sys.vdom_alloc(world->core(0));
+    ASSERT_EQ(world->sys.vdom_free(world->core(0), v), VdomStatus::kOk);
+    out = VPerm::kFullAccess;
+    EXPECT_EQ(world->sys.rdvdr(world->core(0), *task, v, &out),
+              VdomStatus::kInvalidVdom);
+    EXPECT_EQ(out, VPerm::kAccessDisable);
+
+    EXPECT_EQ(world->sys.rdvdr(world->core(0), *task, kApiVdom, &out),
+              VdomStatus::kPermissionDenied);
+
+    // A live id round-trips through the status-returning form.
+    auto [live, vpn] = world->make_domain(1);
+    (void)vpn;
+    world->sys.wrvdr(world->core(0), *task, live, VPerm::kWriteDisable);
+    EXPECT_EQ(world->sys.rdvdr(world->core(0), *task, live, &out),
+              VdomStatus::kOk);
+    EXPECT_EQ(out, VPerm::kWriteDisable);
+}
+
+TEST_F(ApiTest, RdvdrBeforeInitOrWithoutVdrRejected)
+{
+    Task *task = world->spawn();
+    VPerm out = VPerm::kFullAccess;
+    EXPECT_EQ(world->sys.rdvdr(world->core(0), *task, 3, &out),
+              VdomStatus::kNotInitialized);
+    EXPECT_EQ(out, VPerm::kAccessDisable);
+    world->sys.vdom_init(world->core(0));
+    EXPECT_EQ(world->sys.rdvdr(world->core(0), *task, 3, &out),
+              VdomStatus::kNoVdr);
+}
+
 }  // namespace
 }  // namespace vdom

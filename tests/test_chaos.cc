@@ -1,0 +1,427 @@
+/// \file
+/// Fault-injection engine and chaos-harness tests.
+///
+/// Covers the FaultPlan trigger semantics (every-Nth, probability, skip,
+/// fire budget, seed reproducibility, null-hook no-op), the graceful
+/// degradation of individual injection sites, and the full chaos sweep:
+/// randomized churn with sites armed on both architectures, with the
+/// DESIGN.md invariants checked after every operation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "sim/chaos.h"
+#include "sim/fault.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span.h"
+
+namespace vdom {
+namespace {
+
+using ::vdom::testing::World;
+using sim::ChaosConfig;
+using sim::ChaosHarness;
+using sim::ChaosResult;
+using sim::FaultPlan;
+using sim::FaultSite;
+using sim::FaultSpec;
+using sim::ScopedFaults;
+
+// -- FaultPlan trigger semantics ------------------------------------------
+
+TEST(FaultPlan, UnarmedSitesNeverFireAndCountNothing)
+{
+    FaultPlan plan(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(plan.should_fire(FaultSite::kTlbEntryDrop));
+    EXPECT_EQ(plan.occurrences(FaultSite::kTlbEntryDrop), 0u);
+    EXPECT_EQ(plan.fires(FaultSite::kTlbEntryDrop), 0u);
+    EXPECT_EQ(plan.total_fires(), 0u);
+}
+
+TEST(FaultPlan, EveryNthFiresExactlyOnSchedule)
+{
+    FaultPlan plan(7);
+    plan.arm(FaultSite::kIpiDrop, {.every = 3});
+    std::vector<int> fired;
+    for (int i = 1; i <= 9; ++i) {
+        if (plan.should_fire(FaultSite::kIpiDrop))
+            fired.push_back(i);
+    }
+    EXPECT_EQ(fired, (std::vector<int>{3, 6, 9}));
+    EXPECT_EQ(plan.occurrences(FaultSite::kIpiDrop), 9u);
+    EXPECT_EQ(plan.fires(FaultSite::kIpiDrop), 3u);
+}
+
+TEST(FaultPlan, SkipDelaysArmingAndBudgetCapsFires)
+{
+    FaultPlan plan(7);
+    plan.arm(FaultSite::kVdsAllocFail,
+             {.every = 1, .skip = 2, .max_fires = 3});
+    std::vector<int> fired;
+    for (int i = 1; i <= 10; ++i) {
+        if (plan.should_fire(FaultSite::kVdsAllocFail))
+            fired.push_back(i);
+    }
+    // Occurrences 1-2 skipped, then every occurrence fires until the
+    // budget of 3 is spent.
+    EXPECT_EQ(fired, (std::vector<int>{3, 4, 5}));
+    EXPECT_EQ(plan.occurrences(FaultSite::kVdsAllocFail), 10u);
+    EXPECT_EQ(plan.fires(FaultSite::kVdsAllocFail), 3u);
+    EXPECT_EQ(plan.total_fires(), 3u);
+}
+
+TEST(FaultPlan, ProbabilityStreamIsSeedReproducible)
+{
+    FaultPlan a(1234);
+    FaultPlan b(1234);
+    a.arm(FaultSite::kTlbEntryDrop, {.probability = 0.3});
+    b.arm(FaultSite::kTlbEntryDrop, {.probability = 0.3});
+    std::uint64_t fires = 0;
+    for (int i = 0; i < 500; ++i) {
+        bool fa = a.should_fire(FaultSite::kTlbEntryDrop);
+        bool fb = b.should_fire(FaultSite::kTlbEntryDrop);
+        ASSERT_EQ(fa, fb) << "diverged at occurrence " << i;
+        fires += fa;
+    }
+    // A 30% coin over 500 tosses lands well inside (50, 250).
+    EXPECT_GT(fires, 50u);
+    EXPECT_LT(fires, 250u);
+    EXPECT_EQ(a.fires(FaultSite::kTlbEntryDrop), fires);
+}
+
+TEST(FaultPlan, NullHookIsANoOp)
+{
+    sim::set_fault_sink(nullptr);
+    EXPECT_EQ(sim::fault_sink(), nullptr);
+    EXPECT_FALSE(sim::fault_fires(FaultSite::kTlbEntryDrop));
+
+    FaultPlan plan(7);
+    plan.arm(FaultSite::kTlbEntryDrop, {.every = 1});
+    {
+        ScopedFaults armed(plan);
+        EXPECT_TRUE(sim::fault_fires(FaultSite::kTlbEntryDrop));
+    }
+    // Detached again: no counting, no firing.
+    EXPECT_FALSE(sim::fault_fires(FaultSite::kTlbEntryDrop));
+    EXPECT_EQ(plan.occurrences(FaultSite::kTlbEntryDrop), 1u);
+}
+
+TEST(FaultPlan, FiresAreCountedInTelemetry)
+{
+    telemetry::MetricsRegistry registry(1);
+    telemetry::ScopedMetrics metrics(registry);
+    FaultPlan plan(7);
+    plan.arm(FaultSite::kGateEntryDenied, {.every = 2});
+    for (int i = 0; i < 10; ++i)
+        plan.should_fire(FaultSite::kGateEntryDenied);
+    EXPECT_EQ(registry.value(telemetry::Metric::kFaultsInjected), 5u);
+}
+
+TEST(FaultPlan, ResetCountsKeepsArming)
+{
+    FaultPlan plan(7);
+    plan.arm(FaultSite::kIpiDrop, {.every = 1});
+    plan.should_fire(FaultSite::kIpiDrop);
+    plan.reset_counts();
+    EXPECT_EQ(plan.fires(FaultSite::kIpiDrop), 0u);
+    EXPECT_EQ(plan.total_fires(), 0u);
+    EXPECT_TRUE(plan.armed(FaultSite::kIpiDrop));
+    EXPECT_TRUE(plan.should_fire(FaultSite::kIpiDrop));
+}
+
+// -- Individual site degradation ------------------------------------------
+
+TEST(FaultSiteBehavior, VdrExhaustedSurfacesResourceExhausted)
+{
+    auto world = std::unique_ptr<World>(World::x86(2));
+    world->sys.vdom_init(world->core(0));
+    kernel::Task *task = world->spawn();
+    FaultPlan plan(7);
+    plan.arm(FaultSite::kVdrExhausted, {.every = 1});
+    {
+        ScopedFaults armed(plan);
+        EXPECT_EQ(world->sys.vdr_alloc(world->core(0), *task, 2),
+                  VdomStatus::kResourceExhausted);
+        EXPECT_FALSE(task->has_vdr());
+    }
+    // Unarmed retry succeeds: the failure was transient, not sticky.
+    EXPECT_EQ(world->sys.vdr_alloc(world->core(0), *task, 2),
+              VdomStatus::kOk);
+}
+
+TEST(FaultSiteBehavior, VdtAllocFailRejectsMprotectWithoutMutation)
+{
+    auto world = std::unique_ptr<World>(World::x86(2));
+    world->ready_thread();
+    VdomId v = world->sys.vdom_alloc(world->core(0));
+    hw::Vpn vpn = world->proc.mm().mmap(2);
+    FaultPlan plan(7);
+    plan.arm(FaultSite::kVdtAllocFail, {.every = 1});
+    {
+        ScopedFaults armed(plan);
+        EXPECT_EQ(world->sys.vdom_mprotect(world->core(0), vpn, 2, v),
+                  VdomStatus::kResourceExhausted);
+    }
+    EXPECT_TRUE(world->proc.mm().vdm().vdt().areas(v).empty());
+    // The same call succeeds once the fault clears.
+    EXPECT_EQ(world->sys.vdom_mprotect(world->core(0), vpn, 2, v),
+              VdomStatus::kOk);
+}
+
+TEST(FaultSiteBehavior, PermRegWriteFailExhaustsRetriesWithoutMutation)
+{
+    auto world = std::unique_ptr<World>(World::x86(2));
+    kernel::Task *task = world->ready_thread();
+    auto [v, vpn] = world->make_domain(1);
+    (void)vpn;
+    FaultPlan plan(7);
+    plan.arm(FaultSite::kPermRegWriteFail, {.probability = 1.0});
+    {
+        ScopedFaults armed(plan);
+        EXPECT_EQ(world->sys.wrvdr(world->core(0), *task, v,
+                                   VPerm::kFullAccess),
+                  VdomStatus::kRetriesExhausted);
+    }
+    // The grant never landed: VDR still reports the default.
+    EXPECT_EQ(world->sys.rdvdr(world->core(0), *task, v),
+              VPerm::kAccessDisable);
+    // Bounded: retries stop after the cap, they do not loop forever.
+    EXPECT_LE(plan.fires(FaultSite::kPermRegWriteFail), 8u);
+}
+
+TEST(FaultSiteBehavior, GateEntryDeniedIsRetryable)
+{
+    auto world = std::unique_ptr<World>(World::x86(2));
+    kernel::Task *task = world->ready_thread();
+    auto [v, vpn] = world->make_domain(1);
+    (void)vpn;
+    FaultPlan plan(7);
+    plan.arm(FaultSite::kGateEntryDenied, {.every = 1, .max_fires = 1});
+    ScopedFaults armed(plan);
+    EXPECT_EQ(world->sys.wrvdr(world->core(0), *task, v,
+                               VPerm::kFullAccess),
+              VdomStatus::kTransientFault);
+    // Budget spent: the retry goes through and the grant lands.
+    EXPECT_EQ(world->sys.wrvdr(world->core(0), *task, v,
+                               VPerm::kFullAccess),
+              VdomStatus::kOk);
+    EXPECT_EQ(world->sys.rdvdr(world->core(0), *task, v),
+              VPerm::kFullAccess);
+}
+
+TEST(FaultSiteBehavior, TlbEntryDropForcesRewalkNotCorruption)
+{
+    auto world = std::unique_ptr<World>(World::x86(1));
+    kernel::Task *task = world->ready_thread();
+    auto [v, vpn] = world->make_domain(1);
+    world->sys.wrvdr(world->core(0), *task, v, VPerm::kFullAccess);
+    ASSERT_TRUE(world->sys.access(world->core(0), *task, vpn, true).ok);
+
+    FaultPlan plan(7);
+    plan.arm(FaultSite::kTlbEntryDrop, {.probability = 1.0});
+    ScopedFaults armed(plan);
+    auto before = world->core(0).tlb().stats();
+    VAccess res = world->sys.access(world->core(0), *task, vpn, true);
+    auto after = world->core(0).tlb().stats();
+    // The access still succeeds -- it just pays a rewalk.
+    EXPECT_TRUE(res.ok);
+    EXPECT_GT(after.fault_drops, before.fault_drops);
+    EXPECT_GT(after.misses, before.misses);
+}
+
+// -- Chaos sweeps (>= 4 sites x both architectures) -----------------------
+
+struct SweepCase {
+    FaultSite site;
+    FaultSpec spec;
+};
+
+class ChaosSweep
+    : public ::testing::TestWithParam<std::tuple<hw::ArchKind, SweepCase>> {
+};
+
+TEST_P(ChaosSweep, InvariantsHoldAfterEveryInjection)
+{
+    auto [arch, sweep] = GetParam();
+    ChaosConfig config;
+    config.arch = arch;
+    config.ops = 400;
+    config.seed = 99;
+    config.faults = {{sweep.site, sweep.spec}};
+
+    ChaosHarness harness(config);
+    ChaosResult result = harness.run();
+    EXPECT_TRUE(result.ok()) << result.first_violation;
+    EXPECT_EQ(result.ops, 400u);
+    EXPECT_GE(result.invariant_checks, result.ops);
+    std::size_t idx = static_cast<std::size_t>(sweep.site);
+    EXPECT_GT(result.occurrences_by_site[idx], 0u)
+        << "site " << sim::fault_site_name(sweep.site)
+        << " never reached while armed";
+    EXPECT_GT(result.fires_by_site[idx], 0u)
+        << "site " << sim::fault_site_name(sweep.site) << " never fired";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSites, ChaosSweep,
+    ::testing::Combine(
+        ::testing::Values(hw::ArchKind::kX86, hw::ArchKind::kArm),
+        ::testing::Values(
+            SweepCase{FaultSite::kTlbEntryDrop, {.probability = 0.4}},
+            SweepCase{FaultSite::kPteWriteDelay, {.probability = 0.4}},
+            SweepCase{FaultSite::kPermRegWriteFail, {.probability = 0.3}},
+            SweepCase{FaultSite::kIpiDrop, {.probability = 0.4}},
+            SweepCase{FaultSite::kAsidExhaustion, {.probability = 0.1}},
+            SweepCase{FaultSite::kVdsAllocFail, {.probability = 0.5}},
+            SweepCase{FaultSite::kVdtAllocFail, {.probability = 0.5}},
+            SweepCase{FaultSite::kGateEntryDenied, {.probability = 0.3}})),
+    [](const auto &info) {
+        return std::string(hw::arch_name(std::get<0>(info.param))) + "_" +
+               sim::fault_site_name(std::get<1>(info.param).site);
+    });
+
+TEST(ChaosAllArmed, EverySiteAtOnceOnBothArches)
+{
+    for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm}) {
+        ChaosConfig config;
+        config.arch = arch;
+        config.ops = 600;
+        config.seed = 5;
+        for (std::size_t s = 0; s < sim::kNumFaultSites; ++s) {
+            config.faults.emplace_back(static_cast<FaultSite>(s),
+                                       FaultSpec{.probability = 0.2});
+        }
+        ChaosHarness harness(config);
+        ChaosResult result = harness.run();
+        EXPECT_TRUE(result.ok())
+            << hw::arch_name(arch) << ": " << result.first_violation;
+        EXPECT_GT(result.faults_injected, 0u);
+        EXPECT_GT(result.transient_failures, 0u);
+    }
+}
+
+TEST(ChaosAllArmed, BrutalModeNeverAborts)
+{
+    // Every site firing on every occurrence: pure degraded paths, still no
+    // crash and no invariant violation.
+    ChaosConfig config;
+    config.ops = 150;
+    config.seed = 3;
+    for (std::size_t s = 0; s < sim::kNumFaultSites; ++s) {
+        config.faults.emplace_back(static_cast<FaultSite>(s),
+                                   FaultSpec{.every = 1});
+    }
+    for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm}) {
+        config.arch = arch;
+        ChaosHarness harness(config);
+        ChaosResult result = harness.run();
+        EXPECT_TRUE(result.ok())
+            << hw::arch_name(arch) << ": " << result.first_violation;
+        EXPECT_GT(result.faults_injected, 0u);
+    }
+}
+
+// -- Determinism under faults ---------------------------------------------
+
+/// One fully armed run with telemetry attached, for replay comparison.
+struct InstrumentedRun {
+    ChaosResult result;
+    std::vector<telemetry::MetricsRegistry::Sample> metrics;
+    std::size_t span_events = 0;
+};
+
+InstrumentedRun
+run_instrumented(const ChaosConfig &config)
+{
+    InstrumentedRun out;
+    telemetry::MetricsRegistry registry(config.cores);
+    telemetry::SpanTracer tracer;
+    ChaosHarness harness(config);
+    {
+        telemetry::ScopedMetrics metrics(registry);
+        telemetry::ScopedSpanTrace spans(tracer);
+        out.result = harness.run();
+    }
+    out.metrics = registry.snapshot();
+    out.span_events = tracer.events().size();
+    return out;
+}
+
+TEST(ChaosDeterminism, SameFaultedScheduleTwiceIsIdentical)
+{
+    for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm}) {
+        ChaosConfig config;
+        config.arch = arch;
+        config.ops = 300;
+        config.seed = 2024;
+        config.faults = {
+            {FaultSite::kTlbEntryDrop, {.probability = 0.2}},
+            {FaultSite::kPermRegWriteFail, {.probability = 0.2}},
+            {FaultSite::kIpiDrop, {.probability = 0.3}},
+            {FaultSite::kAsidExhaustion, {.probability = 0.05}},
+            {FaultSite::kVdsAllocFail, {.probability = 0.3}},
+        };
+
+        InstrumentedRun a = run_instrumented(config);
+        InstrumentedRun b = run_instrumented(config);
+
+        EXPECT_EQ(a.result.max_clock, b.result.max_clock);
+        EXPECT_EQ(a.result.faults_injected, b.result.faults_injected);
+        EXPECT_EQ(a.result.ok_accesses, b.result.ok_accesses);
+        EXPECT_EQ(a.result.transient_failures, b.result.transient_failures);
+        for (std::size_t k = 0; k < hw::kNumCostKinds; ++k) {
+            EXPECT_EQ(a.result.breakdown.by_kind[k],
+                      b.result.breakdown.by_kind[k])
+                << hw::cost_kind_name(static_cast<hw::CostKind>(k));
+        }
+        // Telemetry replays too: same counters, same span stream length
+        // (retry loops emit no extra spans -- see kernel/shootdown.h).
+        ASSERT_EQ(a.metrics.size(), b.metrics.size());
+        for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+            EXPECT_EQ(a.metrics[i].name, b.metrics[i].name);
+            EXPECT_EQ(a.metrics[i].value, b.metrics[i].value)
+                << a.metrics[i].name;
+        }
+        EXPECT_EQ(a.span_events, b.span_events);
+    }
+}
+
+TEST(ChaosDeterminism, RetriesChargeCyclesButEmitOneSpanPerShootdown)
+{
+    // Same seed/workload with and without IPI drops: the faulted run pays
+    // more cycles (the retries) but records exactly as many shootdown
+    // span events -- retries never double-count spans or shootdown counts.
+    ChaosConfig clean;
+    clean.ops = 250;
+    clean.seed = 77;
+    ChaosConfig faulty = clean;
+    faulty.faults = {{FaultSite::kIpiDrop, {.probability = 0.5}}};
+
+    InstrumentedRun a = run_instrumented(clean);
+    InstrumentedRun b = run_instrumented(faulty);
+
+    std::uint64_t shootdowns_a = 0, shootdowns_b = 0;
+    std::uint64_t retries_b = 0;
+    for (const auto &s : b.metrics) {
+        if (s.name == "shootdown.count")
+            shootdowns_b = s.value;
+        if (s.name == "shootdown.retry")
+            retries_b = s.value;
+    }
+    for (const auto &s : a.metrics) {
+        if (s.name == "shootdown.count")
+            shootdowns_a = s.value;
+    }
+    ASSERT_GT(shootdowns_a, 0u);
+    EXPECT_EQ(shootdowns_a, shootdowns_b);
+    EXPECT_GT(retries_b, 0u);
+    EXPECT_GT(b.result.max_clock, a.result.max_clock);
+}
+
+}  // namespace
+}  // namespace vdom

@@ -10,6 +10,7 @@
 
 #include "common.h"
 #include "hw/cost_kind.h"
+#include "sim/fault.h"
 #include "sim/trace.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
@@ -334,20 +335,26 @@ TEST(CycleIdentity, SinksNeverChargeCycles)
     set_metrics_sink(nullptr);
     set_span_sink(nullptr);
     sim::set_trace_sink(nullptr);
+    sim::set_fault_sink(nullptr);
     auto plain = std::unique_ptr<World>(World::x86(4));
     drive_workload(*plain);
 
-    // Instrumented run: metrics + spans + event trace all attached.
+    // Instrumented run: metrics + spans + event trace all attached, plus
+    // an attached-but-unarmed fault plan — injection sites that never fire
+    // must not perturb a single cycle either.
     auto traced = std::unique_ptr<World>(World::x86(4));
     MetricsRegistry registry(4);
     SpanTracer spans;
     sim::Tracer events;
+    sim::FaultPlan unarmed_plan(1);
     {
         ScopedMetrics attach_metrics(registry);
         ScopedSpanTrace attach_spans(spans);
         sim::ScopedTrace attach_events(events);
+        sim::ScopedFaults attach_faults(unarmed_plan);
         drive_workload(*traced);
     }
+    EXPECT_EQ(unarmed_plan.total_fires(), 0u);
 
     // The instrumentation observed real activity...
     EXPECT_GT(registry.value(Metric::kWrvdrCalls), 0u);

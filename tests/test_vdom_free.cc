@@ -88,6 +88,32 @@ TEST_F(VdomFreeTest, FreeWhileAnotherThreadHoldsPermission)
                     .sigsegv);
 }
 
+TEST_F(VdomFreeTest, StaleGrantDoesNotLeakOntoRecycledId)
+{
+    // t1 holds FA on v when v is freed.  The id is recycled (LIFO free
+    // list) for a brand-new region; t1 must NOT inherit access to the new
+    // incarnation without a fresh wrvdr — vdom_free scrubs every VDR.
+    Task *other = world->spawn(1);
+    world->sys.vdr_alloc(world->core(1), *other, 2);
+    auto [v, vpn] = world->make_domain(2);
+    (void)vpn;
+    world->sys.wrvdr(world->core(1), *other, v, VPerm::kFullAccess);
+    ASSERT_EQ(world->sys.vdom_free(world->core(0), v), VdomStatus::kOk);
+    EXPECT_EQ(other->vdr()->get(v), VPerm::kAccessDisable);
+
+    VdomId recycled = world->sys.vdom_alloc(world->core(0));
+    ASSERT_EQ(recycled, v);
+    hw::Vpn fresh = world->proc.mm().mmap(2);
+    ASSERT_EQ(world->sys.vdom_mprotect(world->core(0), fresh, 2, recycled),
+              VdomStatus::kOk);
+    // The stale holder is locked out of the new incarnation...
+    EXPECT_TRUE(world->sys.access(world->core(1), *other, fresh, true)
+                    .sigsegv);
+    // ...until it is granted access explicitly, like anyone else.
+    world->sys.wrvdr(world->core(1), *other, recycled, VPerm::kFullAccess);
+    EXPECT_TRUE(world->sys.access(world->core(1), *other, fresh, true).ok);
+}
+
 TEST_F(VdomFreeTest, MunmapThenFreeThenReuseAddressSpace)
 {
     auto [v, vpn] = world->make_domain(4);
