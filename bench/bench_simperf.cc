@@ -17,7 +17,9 @@
 #include "hw/mmu.h"
 #include "hw/page_table.h"
 #include "hw/tlb.h"
+#include "kernel/vma.h"
 #include "sim/rng.h"
+#include "vdom/vdr.h"
 
 namespace vdom::bench {
 namespace {
@@ -47,6 +49,25 @@ BM_TlbInsertEvict(benchmark::State &state)
 BENCHMARK(BM_TlbInsertEvict);
 
 void
+BM_TlbSetAssocConflict(benchmark::State &state)
+{
+    // Opt-in set-associative geometry: 64 sets x 8 ways.  Round-robin over
+    // 2x-ways vpns that all land in one set, so every insert past the
+    // first 8 is a conflict eviction while the TLB is otherwise empty.
+    hw::Tlb tlb(512, 0, 8);
+    std::vector<hw::Vpn> conflicting;
+    std::size_t target = tlb.set_index(1, 0x1000);
+    for (hw::Vpn v = 0x1000; conflicting.size() < 2 * tlb.ways(); ++v) {
+        if (tlb.set_index(1, v) == target)
+            conflicting.push_back(v);
+    }
+    std::size_t i = 0;
+    for (auto _ : state)
+        tlb.insert(1, conflicting[i++ % conflicting.size()], {});
+}
+BENCHMARK(BM_TlbSetAssocConflict);
+
+void
 BM_PageTableTranslate(benchmark::State &state)
 {
     hw::PageTable pt(512);
@@ -72,6 +93,81 @@ BM_PmdDisableRemap2MB(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PmdDisableRemap2MB);
+
+void
+BM_RadixTranslateSparse(benchmark::State &state)
+{
+    // Pages scattered one-per-PMD across the dense directory plus a band
+    // beyond the dense limit, exercising both radix paths.
+    hw::PageTable pt(512);
+    std::vector<hw::Vpn> mapped;
+    for (hw::Vpn pmd = 0; pmd < 1024; pmd += 8) {
+        hw::Vpn v = pmd * 512 + (pmd % 512);
+        pt.map_page(v, 3);
+        mapped.push_back(v);
+    }
+    for (hw::Vpn pmd = 1u << 17; pmd < (1u << 17) + 256; pmd += 8) {
+        hw::Vpn v = static_cast<hw::Vpn>(pmd) * 512;
+        pt.map_page(v, 3);
+        mapped.push_back(v);
+    }
+    sim::Rng rng(5);
+    for (auto _ : state) {
+        hw::Translation t = pt.translate(mapped[rng.below(mapped.size())]);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_RadixTranslateSparse);
+
+void
+BM_VmaCacheHit(benchmark::State &state)
+{
+    // Fault-stream pattern: repeated lookups inside one large region.  The
+    // single-entry cache answers everything after the first probe.
+    kernel::VmaTree vmas;
+    for (hw::Vpn base = 0; base < 64 * 1024; base += 1024)
+        vmas.insert(kernel::Vma{base, 1024, kCommonVdom, false});
+    sim::Rng rng(6);
+    for (auto _ : state) {
+        const kernel::Vma *vma = vmas.find(32 * 1024 + rng.below(1024));
+        benchmark::DoNotOptimize(vma);
+    }
+}
+BENCHMARK(BM_VmaCacheHit);
+
+void
+BM_VmaCacheMiss(benchmark::State &state)
+{
+    // Adversarial pattern: alternate between distant regions so every
+    // find misses the cache and pays the tree descent.
+    kernel::VmaTree vmas;
+    for (hw::Vpn base = 0; base < 64 * 1024; base += 1024)
+        vmas.insert(kernel::Vma{base, 1024, kCommonVdom, false});
+    hw::Vpn toggle = 0;
+    for (auto _ : state) {
+        toggle ^= 48 * 1024;
+        const kernel::Vma *vma = vmas.find(toggle + 17);
+        benchmark::DoNotOptimize(vma);
+    }
+}
+BENCHMARK(BM_VmaCacheMiss);
+
+void
+BM_VdrFlatScan(benchmark::State &state)
+{
+    // rdvdr over a 32-entry active set with rotating ids: each get() past
+    // the memo is one binary search over the contiguous array.
+    Vdr vdr;
+    for (VdomId v = 2; v < 34; ++v)
+        vdr.set(v, VPerm::kFullAccess);
+    VdomId next = 2;
+    for (auto _ : state) {
+        VPerm p = vdr.get(next);
+        benchmark::DoNotOptimize(p);
+        next = 2 + (next - 1) % 32;
+    }
+}
+BENCHMARK(BM_VdrFlatScan);
 
 void
 BM_MmuAccessHit(benchmark::State &state)

@@ -1,27 +1,16 @@
 /// \file
-/// Memory access path implementation.
+/// Memory access path implementation: the TLB-miss (walk + fill) slow path.
+/// The hit path is inline in mmu.h.
 
 #include "hw/mmu.h"
 
 namespace vdom::hw {
 
-namespace {
-
-/// Looks up the translation for \p vpn, filling the TLB on a miss.
 AccessResult
-do_translate(Core &core, Vpn vpn)
+Mmu::translate_slow(Core &core, Vpn vpn)
 {
     AccessResult res;
-    const CostTable &costs = core.costs();
-    auto hit = core.tlb().lookup(core.asid(), vpn);
-    if (hit) {
-        core.charge(CostKind::kTlbMiss, costs.tlb_hit);
-        res.tlb_hit = true;
-        res.outcome = AccessOutcome::kOk;
-        res.pdom = hit->pdom;
-        return res;
-    }
-    core.charge(CostKind::kTlbMiss, costs.pt_walk);
+    core.charge(CostKind::kTlbMiss, core.costs().pt_walk);
     const PageTable *pgd = core.pgd();
     if (!pgd) {
         res.outcome = AccessOutcome::kPageFault;
@@ -37,27 +26,6 @@ do_translate(Core &core, Vpn vpn)
     res.outcome = AccessOutcome::kOk;
     res.pdom = t.pdom;
     return res;
-}
-
-}  // namespace
-
-AccessResult
-Mmu::access(Core &core, Vpn vpn, bool write)
-{
-    AccessResult res = do_translate(core, vpn);
-    if (res.outcome != AccessOutcome::kOk)
-        return res;
-    Perm perm = core.perm_reg().get(res.pdom);
-    bool allowed = write ? perm_allows_write(perm) : perm_allows_read(perm);
-    if (!allowed)
-        res.outcome = AccessOutcome::kDomainFault;
-    return res;
-}
-
-AccessResult
-Mmu::translate_only(Core &core, Vpn vpn)
-{
-    return do_translate(core, vpn);
 }
 
 }  // namespace vdom::hw

@@ -41,6 +41,41 @@ class Mmu {
     /// Translation step only (no permission check); used by kernel code
     /// paths that probe mappings.
     static AccessResult translate_only(Core &core, Vpn vpn);
+
+  private:
+    static AccessResult translate_slow(Core &core, Vpn vpn);
 };
+
+/// The whole TLB-hit path lives in the header: every simulated load/store
+/// funnels through here, so the hit case (lookup + permission check +
+/// cycle charge) must inline into workload loops.  Only the miss path
+/// (page-table walk + TLB fill) pays an out-of-line call.
+inline AccessResult
+Mmu::translate_only(Core &core, Vpn vpn)
+{
+    auto hit = core.tlb().lookup(core.asid(), vpn);
+    if (hit) {
+        core.charge(CostKind::kTlbMiss, core.costs().tlb_hit);
+        AccessResult res;
+        res.tlb_hit = true;
+        res.outcome = AccessOutcome::kOk;
+        res.pdom = hit->pdom;
+        return res;
+    }
+    return translate_slow(core, vpn);
+}
+
+inline AccessResult
+Mmu::access(Core &core, Vpn vpn, bool write)
+{
+    AccessResult res = translate_only(core, vpn);
+    if (res.outcome != AccessOutcome::kOk)
+        return res;
+    Perm perm = core.perm_reg().get(res.pdom);
+    bool allowed = write ? perm_allows_write(perm) : perm_allows_read(perm);
+    if (!allowed)
+        res.outcome = AccessOutcome::kDomainFault;
+    return res;
+}
 
 }  // namespace vdom::hw

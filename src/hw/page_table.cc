@@ -1,38 +1,69 @@
 /// \file
-/// Domain-tagged page-table model implementation.
+/// Domain-tagged page-table model implementation (two-level radix: a dense
+/// PMD directory of leaves, each leaf a flat PTE block).
 
 #include "hw/page_table.h"
 
+#include <algorithm>
+
 namespace vdom::hw {
+
+PageTable::Leaf &
+PageTable::leaf_grow(Vpn idx)
+{
+    if (idx < kDenseLimit) {
+        if (idx >= dense_.size()) {
+            std::size_t grown =
+                std::max<std::size_t>(idx + 1, dense_.size() * 2);
+            dense_.resize(std::min<std::size_t>(grown, kDenseLimit));
+        }
+        if (!dense_[idx])
+            dense_[idx] = std::make_unique<Leaf>(pmd_span_);
+        return *dense_[idx];
+    }
+    auto &slot = sparse_[idx];
+    if (!slot)
+        slot = std::make_unique<Leaf>(pmd_span_);
+    return *slot;
+}
+
+void
+PageTable::leaf_drop(Vpn idx)
+{
+    if (idx < dense_.size())
+        dense_[idx].reset();
+    else if (idx >= kDenseLimit)
+        sparse_.erase(idx);
+}
 
 Translation
 PageTable::translate(Vpn vpn) const
 {
     Translation t;
-    auto pmd_it = pmds_.find(pmd_index(vpn));
-    if (pmd_it != pmds_.end()) {
-        const PmdEntry &pmd = pmd_it->second;
-        if (pmd.kind == PmdKind::kDisabled) {
-            t.present = false;
-            t.pmd_disabled = true;
-            return t;
-        }
-        if (pmd.kind == PmdKind::kHuge) {
-            t.present = true;
-            t.huge = true;
-            t.pdom = pmd.pdom;
-            return t;
-        }
-    }
-    auto it = ptes_.find(vpn);
-    if (it == ptes_.end() || !it->second.present)
+    Vpn idx = pmd_index(vpn);
+    const Leaf *leaf = leaf_at(idx);
+    if (!leaf)
         return t;
-    if (it->second.prot_none) {
+    if (leaf->kind == PmdKind::kDisabled) {
+        t.present = false;
+        t.pmd_disabled = true;
+        return t;
+    }
+    if (leaf->kind == PmdKind::kHuge) {
+        t.present = true;
+        t.huge = true;
+        t.pdom = leaf->pdom;
+        return t;
+    }
+    const Pte &pte = leaf->ptes[vpn - idx * pmd_span_];
+    if (!pte.present)
+        return t;
+    if (pte.prot_none) {
         t.prot_none = true;
         return t;
     }
     t.present = true;
-    t.pdom = it->second.pdom;
+    t.pdom = pte.pdom;
     return t;
 }
 
@@ -43,25 +74,30 @@ PageTable::protect_none_range(Vpn vpn, std::uint64_t count)
     Vpn v = vpn;
     Vpn end = vpn + count;
     while (v < end) {
-        Vpn pmd_base = pmd_index(v);
-        Vpn span_start = pmd_base * pmd_span_;
+        Vpn idx = pmd_index(v);
+        Vpn span_start = idx * pmd_span_;
         Vpn span_end = span_start + pmd_span_;
-        auto pmd_it = pmds_.find(pmd_base);
-        if (pmd_it != pmds_.end() && pmd_it->second.kind == PmdKind::kHuge &&
-            v == span_start && end >= span_end) {
-            pmd_it->second.kind = PmdKind::kDisabled;
-            pmd_it->second.was_huge = true;
+        Leaf *leaf = leaf_at(idx);
+        if (leaf && leaf->kind == PmdKind::kHuge && v == span_start &&
+            end >= span_end) {
+            leaf->kind = PmdKind::kDisabled;
+            leaf->was_huge = true;
             ++ops.pmd_writes;
             v = span_end;
             continue;
         }
-        auto it = ptes_.find(v);
-        if (it != ptes_.end() && it->second.present &&
-            !it->second.prot_none) {
-            it->second.prot_none = true;
-            ++ops.pte_writes;
+        Vpn chunk_end = std::min(end, span_end);
+        if (leaf) {
+            for (; v < chunk_end; ++v) {
+                Pte &pte = leaf->ptes[v - span_start];
+                if (pte.present && !pte.prot_none) {
+                    pte.prot_none = true;
+                    ++ops.pte_writes;
+                }
+            }
+        } else {
+            v = chunk_end;
         }
-        ++v;
     }
     return ops;
 }
@@ -70,30 +106,30 @@ PtOps
 PageTable::map_page(Vpn vpn, Pdom pdom)
 {
     PtOps ops;
-    PmdEntry &pmd = pmds_[pmd_index(vpn)];
-    if (pmd.kind != PmdKind::kTable) {
+    Vpn idx = pmd_index(vpn);
+    Leaf &leaf = leaf_grow(idx);
+    if (leaf.kind != PmdKind::kTable) {
         // Re-enable the span as a PTE table before installing the page.
         // Sibling PTEs under a disabled PMD still carry their pre-eviction
         // tags; neutralize them so re-enabling one page cannot resurrect
         // the whole evicted span.
-        if (pmd.kind == PmdKind::kDisabled) {
-            Vpn base = pmd_index(vpn) * pmd_span_;
+        if (leaf.kind == PmdKind::kDisabled) {
+            Vpn base = idx * pmd_span_;
             for (Vpn p = base; p < base + pmd_span_; ++p) {
-                auto it = ptes_.find(p);
-                if (it != ptes_.end() && it->second.present &&
-                    p != vpn) {
-                    it->second.pdom = access_never_;
+                Pte &pte = leaf.ptes[p - base];
+                if (pte.present && p != vpn) {
+                    pte.pdom = access_never_;
                     ++ops.pte_writes;
                 }
             }
         }
-        pmd.kind = PmdKind::kTable;
-        pmd.was_huge = false;
+        leaf.kind = PmdKind::kTable;
+        leaf.was_huge = false;
         ++ops.pmd_writes;
     }
-    Pte &pte = ptes_[vpn];
+    Pte &pte = leaf.ptes[vpn - idx * pmd_span_];
     if (!pte.present)
-        ++pmd.present;
+        ++leaf.present;
     pte.present = true;
     pte.pdom = pdom;
     ++ops.pte_writes;
@@ -104,15 +140,17 @@ PtOps
 PageTable::unmap_page(Vpn vpn)
 {
     PtOps ops;
-    auto it = ptes_.find(vpn);
-    if (it == ptes_.end() || !it->second.present)
+    Vpn idx = pmd_index(vpn);
+    Leaf *leaf = leaf_at(idx);
+    if (!leaf || leaf->kind == PmdKind::kHuge)
         return ops;
-    it->second.present = false;
+    Pte &pte = leaf->ptes[vpn - idx * pmd_span_];
+    if (!pte.present)
+        return ops;
+    pte = Pte{};
     ++ops.pte_writes;
-    auto pmd_it = pmds_.find(pmd_index(vpn));
-    if (pmd_it != pmds_.end() && pmd_it->second.present > 0)
-        --pmd_it->second.present;
-    ptes_.erase(it);
+    if (leaf->present > 0)
+        --leaf->present;
     return ops;
 }
 
@@ -120,12 +158,13 @@ PtOps
 PageTable::unmap_huge(Vpn vpn)
 {
     PtOps ops;
-    auto it = pmds_.find(pmd_index(vpn));
-    if (it == pmds_.end())
+    Vpn idx = pmd_index(vpn);
+    Leaf *leaf = leaf_at(idx);
+    if (!leaf)
         return ops;
-    if (it->second.kind == PmdKind::kHuge ||
-        (it->second.kind == PmdKind::kDisabled && it->second.was_huge)) {
-        pmds_.erase(it);
+    if (leaf->kind == PmdKind::kHuge ||
+        (leaf->kind == PmdKind::kDisabled && leaf->was_huge)) {
+        leaf_drop(idx);
         ++ops.pmd_writes;
     }
     return ops;
@@ -135,38 +174,27 @@ PtOps
 PageTable::map_huge(Vpn vpn, Pdom pdom)
 {
     PtOps ops;
-    PmdEntry &pmd = pmds_[pmd_index(vpn)];
-    pmd.kind = PmdKind::kHuge;
-    pmd.pdom = pdom;
-    pmd.present = 0;
+    Leaf &leaf = leaf_grow(pmd_index(vpn));
+    leaf.kind = PmdKind::kHuge;
+    leaf.pdom = pdom;
+    leaf.present = 0;
     ++ops.pmd_writes;
     // Drop any stale PTEs shadowed by the huge entry.
-    Vpn base = pmd_index(vpn) * pmd_span_;
-    for (Vpn v = base; v < base + pmd_span_; ++v)
-        ptes_.erase(v);
+    std::fill(leaf.ptes.begin(), leaf.ptes.end(), Pte{});
     return ops;
 }
 
 bool
-PageTable::span_uniform(Vpn pmd_base, Pdom *pdom_out) const
+PageTable::span_uniform(const Leaf *leaf, Pdom *pdom_out) const
 {
-    auto pmd_it = pmds_.find(pmd_base);
-    if (pmd_it == pmds_.end())
+    if (!leaf || leaf->kind != PmdKind::kTable ||
+        leaf->present != pmd_span_) {
         return false;
-    const PmdEntry &pmd = pmd_it->second;
-    if (pmd.kind != PmdKind::kTable || pmd.present != pmd_span_)
-        return false;
-    Vpn base = pmd_base * pmd_span_;
-    auto first = ptes_.find(base);
-    if (first == ptes_.end())
-        return false;
-    Pdom pdom = first->second.pdom;
-    for (Vpn v = base; v < base + pmd_span_; ++v) {
-        auto it = ptes_.find(v);
-        if (it == ptes_.end() || !it->second.present ||
-            it->second.prot_none || it->second.pdom != pdom) {
+    }
+    Pdom pdom = leaf->ptes[0].pdom;
+    for (const Pte &pte : leaf->ptes) {
+        if (!pte.present || pte.prot_none || pte.pdom != pdom)
             return false;
-        }
     }
     if (pdom_out)
         *pdom_out = pdom;
@@ -181,48 +209,46 @@ PageTable::set_pdom_range(Vpn vpn, std::uint64_t count, Pdom pdom,
     Vpn v = vpn;
     Vpn end = vpn + count;
     while (v < end) {
-        Vpn pmd_base = pmd_index(v);
-        Vpn span_start = pmd_base * pmd_span_;
+        Vpn idx = pmd_index(v);
+        Vpn span_start = idx * pmd_span_;
         Vpn span_end = span_start + pmd_span_;
         bool covers_span = (v == span_start && end >= span_end);
-        auto pmd_it = pmds_.find(pmd_base);
-        if (covers_span && pmd_it != pmds_.end()) {
-            PmdEntry &pmd = pmd_it->second;
-            if (pmd.kind == PmdKind::kHuge) {
-                pmd.pdom = pdom;
+        Leaf *leaf = leaf_at(idx);
+        if (covers_span && leaf) {
+            if (leaf->kind == PmdKind::kHuge) {
+                leaf->pdom = pdom;
                 ++ops.pmd_writes;
                 v = span_end;
                 continue;
             }
-            if (pmd.kind == PmdKind::kDisabled) {
-                if (pmd.was_huge) {
+            if (leaf->kind == PmdKind::kDisabled) {
+                if (leaf->was_huge) {
                     // Restore the huge mapping with the new tag: the PMD is
                     // the only entry either way.
-                    pmd.kind = PmdKind::kHuge;
-                    pmd.pdom = pdom;
-                    pmd.was_huge = false;
+                    leaf->kind = PmdKind::kHuge;
+                    leaf->pdom = pdom;
+                    leaf->was_huge = false;
                     ++ops.pmd_writes;
                     v = span_end;
                     continue;
                 }
-                if (allow_pmd_fast_path && pmd.pdom == pdom) {
+                if (allow_pmd_fast_path && leaf->pdom == pdom) {
                     // §5.5 HLRU remap: the vdom returns to the same pdom it
                     // last occupied, so the (uniform) PTE tags below the
                     // disabled PMD are still valid; one PMD write restores
                     // the whole span without touching 512 PTEs.
-                    pmd.kind = PmdKind::kTable;
+                    leaf->kind = PmdKind::kTable;
                     ++ops.pmd_writes;
                     v = span_end;
                     continue;
                 }
                 // Different pdom: re-enable the span and pay per-PTE retags.
-                pmd.kind = PmdKind::kTable;
+                leaf->kind = PmdKind::kTable;
                 ++ops.pmd_writes;
-                for (Vpn p = span_start; p < span_end; ++p) {
-                    auto it = ptes_.find(p);
-                    if (it != ptes_.end() && it->second.present) {
-                        it->second.pdom = pdom;
-                        it->second.prot_none = false;
+                for (Pte &pte : leaf->ptes) {
+                    if (pte.present) {
+                        pte.pdom = pdom;
+                        pte.prot_none = false;
                         ++ops.pte_writes;
                     }
                 }
@@ -230,13 +256,19 @@ PageTable::set_pdom_range(Vpn vpn, std::uint64_t count, Pdom pdom,
                 continue;
             }
         }
-        auto it = ptes_.find(v);
-        if (it != ptes_.end() && it->second.present) {
-            it->second.pdom = pdom;
-            it->second.prot_none = false;
-            ++ops.pte_writes;
+        Vpn chunk_end = std::min(end, span_end);
+        if (leaf && leaf->kind == PmdKind::kTable) {
+            for (; v < chunk_end; ++v) {
+                Pte &pte = leaf->ptes[v - span_start];
+                if (pte.present) {
+                    pte.pdom = pdom;
+                    pte.prot_none = false;
+                    ++ops.pte_writes;
+                }
+            }
+        } else {
+            v = chunk_end;
         }
-        ++v;
     }
     return ops;
 }
@@ -249,37 +281,41 @@ PageTable::disable_range(Vpn vpn, std::uint64_t count, Pdom access_never,
     Vpn v = vpn;
     Vpn end = vpn + count;
     while (v < end) {
-        Vpn pmd_base = pmd_index(v);
-        Vpn span_start = pmd_base * pmd_span_;
+        Vpn idx = pmd_index(v);
+        Vpn span_start = idx * pmd_span_;
         Vpn span_end = span_start + pmd_span_;
         bool covers_span = (v == span_start && end >= span_end);
-        if (covers_span) {
-            auto pmd_it = pmds_.find(pmd_base);
-            if (pmd_it != pmds_.end() &&
-                pmd_it->second.kind == PmdKind::kHuge) {
-                pmd_it->second.kind = PmdKind::kDisabled;
-                pmd_it->second.was_huge = true;
+        Leaf *leaf = leaf_at(idx);
+        if (covers_span && leaf) {
+            if (leaf->kind == PmdKind::kHuge) {
+                leaf->kind = PmdKind::kDisabled;
+                leaf->was_huge = true;
                 ++ops.pmd_writes;
                 v = span_end;
                 continue;
             }
             Pdom uniform_pdom = 0;
-            if (allow_pmd_fast_path && span_uniform(pmd_base, &uniform_pdom)) {
-                PmdEntry &pmd = pmds_[pmd_base];
-                pmd.kind = PmdKind::kDisabled;
-                pmd.pdom = uniform_pdom;
+            if (allow_pmd_fast_path &&
+                span_uniform(leaf, &uniform_pdom)) {
+                leaf->kind = PmdKind::kDisabled;
+                leaf->pdom = uniform_pdom;
                 ++ops.pmd_writes;
                 v = span_end;
                 continue;
             }
         }
-        auto it = ptes_.find(v);
-        if (it != ptes_.end() && it->second.present &&
-            it->second.pdom != access_never) {
-            it->second.pdom = access_never;
-            ++ops.pte_writes;
+        Vpn chunk_end = std::min(end, span_end);
+        if (leaf && leaf->kind == PmdKind::kTable) {
+            for (; v < chunk_end; ++v) {
+                Pte &pte = leaf->ptes[v - span_start];
+                if (pte.present && pte.pdom != access_never) {
+                    pte.pdom = access_never;
+                    ++ops.pte_writes;
+                }
+            }
+        } else {
+            v = chunk_end;
         }
-        ++v;
     }
     return ops;
 }
@@ -288,15 +324,23 @@ std::uint64_t
 PageTable::present_pages() const
 {
     std::uint64_t count = 0;
-    for (const auto &[vpn, pte] : ptes_) {
-        (void)vpn;
-        if (pte.present)
-            ++count;
-    }
-    for (const auto &[idx, pmd] : pmds_) {
-        (void)idx;
-        if (pmd.kind == PmdKind::kHuge)
+    auto tally = [&](const Leaf *leaf) {
+        if (!leaf)
+            return;
+        if (leaf->kind == PmdKind::kHuge) {
             count += pmd_span_;
+            return;
+        }
+        for (const Pte &pte : leaf->ptes) {
+            if (pte.present)
+                ++count;
+        }
+    };
+    for (const auto &leaf : dense_)
+        tally(leaf.get());
+    for (const auto &[idx, leaf] : sparse_) {
+        (void)idx;
+        tally(leaf.get());
     }
     return count;
 }

@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "hw/arch.h"
 
@@ -118,26 +120,55 @@ class PageTable {
 
   private:
     enum class PmdKind : std::uint8_t {
-        kTable,     ///< Points to a PTE table (entries in ptes_).
+        kTable,     ///< Points to a PTE table (the leaf's flat PTE block).
         kDisabled,  ///< §5.5: whole span faults; saved pdom for remap.
         kHuge,      ///< 2MB mapping with a single domain tag.
     };
 
-    struct PmdEntry {
+    /// One radix leaf: the PMD entry plus its PTE block as a flat array —
+    /// translate and whole-span retags are pointer-arithmetic walks, like
+    /// a real page table (one 4KB PTE page per PMD entry).
+    struct Leaf {
         PmdKind kind = PmdKind::kTable;
         Pdom pdom = 0;           ///< For kHuge; for kDisabled: prior pdom.
         bool was_huge = false;   ///< Disabled entry had a huge backing.
         std::uint32_t present = 0;  ///< Present PTEs under this PMD.
+        std::vector<Pte> ptes;   ///< pmd_span entries, dense.
+
+        explicit Leaf(std::size_t span) : ptes(span) {}
     };
+
+    /// PMD indices below this use the dense directory (a flat pointer
+    /// array — mmap allocates VPNs bottom-up, so real address spaces land
+    /// here); pathological sparse indices overflow into a hash map.
+    static constexpr Vpn kDenseLimit = Vpn{1} << 16;
+
+    /// Leaf covering PMD index \p idx, or nullptr.
+    Leaf *
+    leaf_at(Vpn idx) const
+    {
+        if (idx < dense_.size())
+            return dense_[idx].get();
+        if (idx < kDenseLimit)
+            return nullptr;
+        auto it = sparse_.find(idx);
+        return it == sparse_.end() ? nullptr : it->second.get();
+    }
+
+    /// Leaf covering PMD index \p idx, created on demand.
+    Leaf &leaf_grow(Vpn idx);
+
+    /// Drops the leaf at \p idx entirely (PMD entry + PTE block).
+    void leaf_drop(Vpn idx);
 
     /// True when every page in [base, base+span) is present, same pdom,
     /// and the span exactly covers the PMD.
-    bool span_uniform(Vpn pmd_base, Pdom *pdom_out) const;
+    bool span_uniform(const Leaf *leaf, Pdom *pdom_out) const;
 
     std::size_t pmd_span_;
     Pdom access_never_;
-    std::unordered_map<Vpn, Pte> ptes_;
-    std::unordered_map<Vpn, PmdEntry> pmds_;
+    std::vector<std::unique_ptr<Leaf>> dense_;
+    std::unordered_map<Vpn, std::unique_ptr<Leaf>> sparse_;
 };
 
 }  // namespace vdom::hw

@@ -3,8 +3,9 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "hw/perm_register.h"
@@ -97,17 +98,35 @@ class Task {
     // granted — not necessarily the thread's VDS at revocation time.
 
     /// The VDS currently holding this thread's reference on \p vdom.
+    /// Sorted flat vector, same idiom as the VDR: a thread's active set is
+    /// small, and this probe is on the wrvdr fast path.
     Vds *
     ref_home(VdomId vdom) const
     {
-        auto it = ref_home_.find(vdom);
-        return it == ref_home_.end() ? nullptr : it->second;
+        auto it = ref_home_lower(vdom);
+        return (it != ref_home_.end() && it->first == vdom) ? it->second
+                                                            : nullptr;
     }
 
-    void set_ref_home(VdomId vdom, Vds *vds) { ref_home_[vdom] = vds; }
-    void clear_ref_home(VdomId vdom) { ref_home_.erase(vdom); }
+    void
+    set_ref_home(VdomId vdom, Vds *vds)
+    {
+        auto it = ref_home_lower(vdom);
+        if (it != ref_home_.end() && it->first == vdom)
+            it->second = vds;
+        else
+            ref_home_.insert(it, {vdom, vds});
+    }
 
-    /// Iterates (vdom, home VDS) pairs (vdr_free cleanup).
+    void
+    clear_ref_home(VdomId vdom)
+    {
+        auto it = ref_home_lower(vdom);
+        if (it != ref_home_.end() && it->first == vdom)
+            ref_home_.erase(it);
+    }
+
+    /// Iterates (vdom, home VDS) pairs in vdom order (vdr_free cleanup).
     template <typename Fn>
     void
     for_each_ref_home(Fn &&fn) const
@@ -120,13 +139,33 @@ class Task {
     bool uses_vdom() const { return has_vdr_; }
 
   private:
+    std::vector<std::pair<VdomId, Vds *>>::iterator
+    ref_home_lower(VdomId vdom)
+    {
+        return std::lower_bound(
+            ref_home_.begin(), ref_home_.end(), vdom,
+            [](const std::pair<VdomId, Vds *> &e, VdomId v) {
+                return e.first < v;
+            });
+    }
+
+    std::vector<std::pair<VdomId, Vds *>>::const_iterator
+    ref_home_lower(VdomId vdom) const
+    {
+        return std::lower_bound(
+            ref_home_.begin(), ref_home_.end(), vdom,
+            [](const std::pair<VdomId, Vds *> &e, VdomId v) {
+                return e.first < v;
+            });
+    }
+
     std::uint32_t tid_;
     Vds *vds_ = nullptr;
     bool has_vdr_ = false;
     Vdr vdr_;
     std::size_t nas_limit_ = 1;
     std::vector<Vds *> owned_;
-    std::unordered_map<VdomId, Vds *> ref_home_;
+    std::vector<std::pair<VdomId, Vds *>> ref_home_;  ///< Sorted by vdom.
     std::size_t bound_core_ = 0;
 };
 

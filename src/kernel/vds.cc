@@ -22,28 +22,20 @@ Vds::Vds(std::uint32_t id, const hw::ArchParams &params)
 {
     // vdom0 (common) is permanently bound to pdom0 in every VDS (Fig. 3).
     map_[params.default_pdom].vdom = kCommonVdom;
-    reverse_[kCommonVdom] = params.default_pdom;
+    VdomSlot &slot = slot_grow(kCommonVdom);
+    slot.pdom = params.default_pdom;
+    slot.mapped = true;
 }
 
-bool
-Vds::is_mapped(VdomId vdom) const
+Vds::VdomSlot &
+Vds::slot_grow(VdomId vdom)
 {
-    return reverse_.find(vdom) != reverse_.end();
-}
-
-std::optional<hw::Pdom>
-Vds::pdom_of(VdomId vdom) const
-{
-    auto it = reverse_.find(vdom);
-    if (it == reverse_.end())
-        return std::nullopt;
-    return it->second;
-}
-
-VdomId
-Vds::vdom_at(hw::Pdom pdom) const
-{
-    return map_[pdom].vdom;
+    if (vdom >= by_vdom_.size()) {
+        std::size_t grown =
+            std::max<std::size_t>(vdom + 1, by_vdom_.size() * 2);
+        by_vdom_.resize(std::max<std::size_t>(grown, 8));
+    }
+    return by_vdom_[vdom];
 }
 
 std::optional<hw::Pdom>
@@ -73,8 +65,11 @@ Vds::map_vdom(hw::Pdom pdom, VdomId vdom)
     }
     entry.vdom = vdom;
     entry.nthreads = 0;
-    reverse_[vdom] = pdom;
-    last_pdom_[vdom] = pdom;
+    VdomSlot &slot = slot_grow(vdom);
+    slot.pdom = pdom;
+    slot.mapped = true;
+    slot.last = pdom;
+    slot.has_last = true;
 }
 
 void
@@ -83,52 +78,14 @@ Vds::unmap_pdom(hw::Pdom pdom)
     MapEntry &entry = map_[pdom];
     if (entry.vdom == kInvalidVdom)
         return;
-    last_pdom_[entry.vdom] = pdom;
-    reverse_.erase(entry.vdom);
+    VdomSlot &slot = slot_grow(entry.vdom);
+    slot.last = pdom;
+    slot.has_last = true;
+    slot.mapped = false;
     entry.vdom = kInvalidVdom;
     entry.nthreads = 0;
     if (pdom >= first_usable_)
         ++free_count_;
-}
-
-void
-Vds::touch(VdomId vdom, hw::Cycles now)
-{
-    auto it = reverse_.find(vdom);
-    if (it != reverse_.end())
-        map_[it->second].last_use = now;
-}
-
-void
-Vds::add_thread_ref(VdomId vdom)
-{
-    auto it = reverse_.find(vdom);
-    if (it != reverse_.end())
-        ++map_[it->second].nthreads;
-}
-
-void
-Vds::remove_thread_ref(VdomId vdom)
-{
-    auto it = reverse_.find(vdom);
-    if (it != reverse_.end() && map_[it->second].nthreads > 0)
-        --map_[it->second].nthreads;
-}
-
-std::uint32_t
-Vds::thread_refs(VdomId vdom) const
-{
-    auto it = reverse_.find(vdom);
-    return it == reverse_.end() ? 0 : map_[it->second].nthreads;
-}
-
-std::optional<hw::Pdom>
-Vds::last_pdom(VdomId vdom) const
-{
-    auto it = last_pdom_.find(vdom);
-    if (it == last_pdom_.end())
-        return std::nullopt;
-    return it->second;
 }
 
 std::optional<hw::Pdom>
@@ -138,10 +95,10 @@ Vds::choose_victim(VdomId incoming,
 {
     // HLRU step 1: reuse the incoming vdom's previous pdom when its current
     // occupant is inaccessible and not pinned (§5.5).
-    auto last = params_->knobs.hlru ? last_pdom_.find(incoming)
-                                    : last_pdom_.end();
-    if (last != last_pdom_.end()) {
-        hw::Pdom p = last->second;
+    const VdomSlot *slot =
+        params_->knobs.hlru ? slot_at(incoming) : nullptr;
+    if (slot && slot->has_last) {
+        hw::Pdom p = slot->last;
         VdomId occupant = map_[p].vdom;
         if (occupant != kInvalidVdom && occupant != kCommonVdom &&
             evictable(occupant) && !pinned(occupant)) {
@@ -192,17 +149,20 @@ Vds::check_consistency() const
         if (v == kInvalidVdom)
             continue;
         ++mapped;
-        auto it = reverse_.find(v);
-        if (it == reverse_.end() || it->second != p)
+        const VdomSlot *slot = slot_at(v);
+        if (!slot || !slot->mapped || slot->pdom != p)
             return false;
     }
     if (mapped + free_count_ != usable_count_)
         return false;
-    // Reverse map must not contain stale entries (besides vdom0 on pdom0).
-    for (const auto &[vdomid, pdom] : reverse_) {
-        if (map_[pdom].vdom != vdomid)
+    // Reverse entries must not be stale (besides vdom0 on pdom0).
+    for (VdomId v = 0; v < by_vdom_.size(); ++v) {
+        const VdomSlot &slot = by_vdom_[v];
+        if (!slot.mapped)
+            continue;
+        if (map_[slot.pdom].vdom != v)
             return false;
-        if (vdomid == kCommonVdom && pdom != params_->default_pdom)
+        if (v == kCommonVdom && slot.pdom != params_->default_pdom)
             return false;
     }
     return true;

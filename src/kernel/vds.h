@@ -7,7 +7,6 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "hw/arch.h"
@@ -43,15 +42,31 @@ class Vds {
     std::uint64_t ctx_id() const { return ctx_id_; }
 
     // --- domain map -------------------------------------------------------
+    //
+    // The per-vdom probes (is_mapped/pdom_of/touch/thread refs) are inline:
+    // they are one bounds check plus one flat-table load, and they sit on
+    // the wrvdr/ensure_mapped fast path.
 
     /// True when \p vdom is mapped to some pdom here (vdom0 always is).
-    bool is_mapped(VdomId vdom) const;
+    bool
+    is_mapped(VdomId vdom) const
+    {
+        const VdomSlot *slot = slot_at(vdom);
+        return slot && slot->mapped;
+    }
 
     /// The pdom \p vdom maps to, or nullopt.
-    std::optional<hw::Pdom> pdom_of(VdomId vdom) const;
+    std::optional<hw::Pdom>
+    pdom_of(VdomId vdom) const
+    {
+        const VdomSlot *slot = slot_at(vdom);
+        if (!slot || !slot->mapped)
+            return std::nullopt;
+        return slot->pdom;
+    }
 
     /// The vdom occupying \p pdom, or kInvalidVdom.
-    VdomId vdom_at(hw::Pdom pdom) const;
+    VdomId vdom_at(hw::Pdom pdom) const { return map_[pdom].vdom; }
 
     /// Picks a free pdom, preferring \p preferred when it is free (HLRU
     /// remap-to-same-pdom, §5.5).
@@ -70,15 +85,47 @@ class Vds {
     void unmap_pdom(hw::Pdom pdom);
 
     /// Refreshes the LRU tick of the pdom backing \p vdom.
-    void touch(VdomId vdom, hw::Cycles now);
+    void
+    touch(VdomId vdom, hw::Cycles now)
+    {
+        const VdomSlot *slot = slot_at(vdom);
+        if (slot && slot->mapped)
+            map_[slot->pdom].last_use = now;
+    }
 
     /// Adjusts the per-vdom active-thread count (Fig. 3 "#thread").
-    void add_thread_ref(VdomId vdom);
-    void remove_thread_ref(VdomId vdom);
-    std::uint32_t thread_refs(VdomId vdom) const;
+    void
+    add_thread_ref(VdomId vdom)
+    {
+        const VdomSlot *slot = slot_at(vdom);
+        if (slot && slot->mapped)
+            ++map_[slot->pdom].nthreads;
+    }
+
+    void
+    remove_thread_ref(VdomId vdom)
+    {
+        const VdomSlot *slot = slot_at(vdom);
+        if (slot && slot->mapped && map_[slot->pdom].nthreads > 0)
+            --map_[slot->pdom].nthreads;
+    }
+
+    std::uint32_t
+    thread_refs(VdomId vdom) const
+    {
+        const VdomSlot *slot = slot_at(vdom);
+        return (slot && slot->mapped) ? map_[slot->pdom].nthreads : 0;
+    }
 
     /// The pdom \p vdom occupied last time it was mapped here, if any.
-    std::optional<hw::Pdom> last_pdom(VdomId vdom) const;
+    std::optional<hw::Pdom>
+    last_pdom(VdomId vdom) const
+    {
+        const VdomSlot *slot = slot_at(vdom);
+        if (!slot || !slot->has_last)
+            return std::nullopt;
+        return slot->last;
+    }
 
     /// HLRU victim selection (§5.5).
     ///
@@ -149,12 +196,33 @@ class Vds {
     const hw::ArchParams *params_;
     hw::PageTable pgd_;
 
+    /// Per-vdom state: current pdom (reverse map) and the pdom the vdom
+    /// occupied last time it was mapped (HLRU, §5.5), folded into one flat
+    /// table indexed by VdomId.  Vdom ids are allocated densely from a
+    /// process-wide counter, so a vector beats the previous pair of
+    /// unordered_maps on every pdom_of/is_mapped/last_pdom probe.
+    struct VdomSlot {
+        hw::Pdom pdom = 0;      ///< Valid when \ref mapped.
+        bool mapped = false;
+        hw::Pdom last = 0;      ///< Valid when \ref has_last.
+        bool has_last = false;
+    };
+
+    /// Slot for \p vdom, or nullptr when the table has never seen it
+    /// (equivalent to missing from both of the old maps).
+    const VdomSlot *
+    slot_at(VdomId vdom) const
+    {
+        return vdom < by_vdom_.size() ? &by_vdom_[vdom] : nullptr;
+    }
+
+    VdomSlot &slot_grow(VdomId vdom);
+
     hw::Pdom first_usable_;
     std::size_t usable_count_;
     std::size_t free_count_;
     std::vector<MapEntry> map_;  ///< Indexed by pdom.
-    std::unordered_map<VdomId, hw::Pdom> reverse_;
-    std::unordered_map<VdomId, hw::Pdom> last_pdom_;
+    std::vector<VdomSlot> by_vdom_;  ///< Indexed by VdomId.
 
     std::size_t resident_threads_ = 0;
     std::uint64_t cpu_bitmap_ = 0;

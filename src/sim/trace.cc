@@ -8,9 +8,9 @@
 
 namespace vdom::sim {
 
-namespace {
-Tracer *g_sink = nullptr;
-}  // namespace
+namespace detail {
+Tracer *g_trace_sink = nullptr;
+}  // namespace detail
 
 const char *
 trace_event_name(TraceEvent event)
@@ -26,18 +26,6 @@ trace_event_name(TraceEvent event)
       case TraceEvent::kShootdown: return "shootdown";
     }
     return "?";
-}
-
-Tracer *
-trace_sink()
-{
-    return g_sink;
-}
-
-void
-set_trace_sink(Tracer *tracer)
-{
-    g_sink = tracer;
 }
 
 std::string

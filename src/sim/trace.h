@@ -110,10 +110,24 @@ class Tracer {
     std::uint64_t total_ = 0;
 };
 
+namespace detail {
+extern Tracer *g_trace_sink;  ///< Use trace_sink() instead.
+}  // namespace detail
+
 /// Global trace hook: null by default (no cost); tests and tools attach a
-/// Tracer around the region of interest.
-Tracer *trace_sink();
-void set_trace_sink(Tracer *tracer);
+/// Tracer around the region of interest.  Inline so the common detached
+/// case is a single load + branch at every trace() site.
+inline Tracer *
+trace_sink()
+{
+    return detail::g_trace_sink;
+}
+
+inline void
+set_trace_sink(Tracer *tracer)
+{
+    detail::g_trace_sink = tracer;
+}
 
 /// Emits \p rec if a sink is attached.
 inline void

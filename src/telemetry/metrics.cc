@@ -7,21 +7,9 @@
 
 namespace vdom::telemetry {
 
-namespace {
-MetricsRegistry *g_sink = nullptr;
-}  // namespace
-
-MetricsRegistry *
-metrics_sink()
-{
-    return g_sink;
-}
-
-void
-set_metrics_sink(MetricsRegistry *registry)
-{
-    g_sink = registry;
-}
+namespace detail {
+MetricsRegistry *g_metrics_sink = nullptr;
+}  // namespace detail
 
 MetricsRegistry::MetricsRegistry(std::size_t shards)
 {

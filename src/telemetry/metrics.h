@@ -46,6 +46,7 @@ enum class Metric : std::uint16_t {
     kTlbEvict,
     kTlbFlush,
     kTlbFlushedPages,
+    kTlbAssocConflict,
     kPermRegWrite,
     // kernel: shootdowns, ASID management, memory synchronization.
     kShootdowns,
@@ -56,9 +57,12 @@ enum class Metric : std::uint16_t {
     kMemsyncPages,
     kFaultIn,
     kVdsCount,
+    kVmaCacheHit,
+    kVmaCacheMiss,
     // vdom: API surface and the virtualization algorithm.
     kWrvdrCalls,
     kRdvdrCalls,
+    kVdrMemoHit,
     kFaultsHandled,
     kSigsegv,
     kGateEnter,
@@ -96,6 +100,7 @@ constexpr std::array<MetricDef, kNumWellKnownMetrics> kMetricDefs = {{
     {"tlb.evict", MetricKind::kCounter},
     {"tlb.flush", MetricKind::kCounter},
     {"tlb.flushed_pages", MetricKind::kCounter},
+    {"tlb.assoc_conflict", MetricKind::kCounter},
     {"perm_reg.write", MetricKind::kCounter},
     {"shootdown.count", MetricKind::kCounter},
     {"shootdown.ipi", MetricKind::kCounter},
@@ -105,8 +110,11 @@ constexpr std::array<MetricDef, kNumWellKnownMetrics> kMetricDefs = {{
     {"mm.memsync_pages", MetricKind::kCounter},
     {"mm.fault_in", MetricKind::kCounter},
     {"mm.vds_count", MetricKind::kGauge},
+    {"vma.cache_hit", MetricKind::kCounter},
+    {"vma.cache_miss", MetricKind::kCounter},
     {"api.wrvdr", MetricKind::kCounter},
     {"api.rdvdr", MetricKind::kCounter},
+    {"vdr.memo_hit", MetricKind::kCounter},
     {"api.fault", MetricKind::kCounter},
     {"api.sigsegv", MetricKind::kCounter},
     {"gate.enter", MetricKind::kCounter},
@@ -338,9 +346,23 @@ class MetricsRegistry {
 
 // -- Global hook (null by default, zero-cost when detached) ---------------
 
-/// The attached registry, or nullptr.
-MetricsRegistry *metrics_sink();
-void set_metrics_sink(MetricsRegistry *registry);
+namespace detail {
+extern MetricsRegistry *g_metrics_sink;  ///< Use metrics_sink() instead.
+}  // namespace detail
+
+/// The attached registry, or nullptr.  Inline so the common detached case
+/// is a single load + branch at every metric_add site.
+inline MetricsRegistry *
+metrics_sink()
+{
+    return detail::g_metrics_sink;
+}
+
+inline void
+set_metrics_sink(MetricsRegistry *registry)
+{
+    detail::g_metrics_sink = registry;
+}
 
 /// Bumps counter \p m by \p n on \p shard if a registry is attached.
 inline void

@@ -5,20 +5,8 @@
 
 namespace vdom::telemetry {
 
-namespace {
-SpanTracer *g_sink = nullptr;
-}  // namespace
-
-SpanTracer *
-span_sink()
-{
-    return g_sink;
-}
-
-void
-set_span_sink(SpanTracer *tracer)
-{
-    g_sink = tracer;
-}
+namespace detail {
+SpanTracer *g_span_sink = nullptr;
+}  // namespace detail
 
 }  // namespace vdom::telemetry

@@ -12,9 +12,9 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 namespace vdom::telemetry {
@@ -72,18 +72,35 @@ class SpanTracer {
     std::uint64_t dropped() const { return dropped_; }
 
     /// Maximum begin/end nesting depth reached on any (core, tid) track.
+    /// Tracks live in a sorted flat vector keyed by (core << 32 | tid):
+    /// the handful of distinct tracks makes a binary search over a
+    /// contiguous array cheaper than a tree node per track.
     std::size_t
     max_depth() const
     {
-        std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> depth;
+        struct Track {
+            std::uint64_t key;
+            std::size_t depth;
+        };
+        std::vector<Track> tracks;
+        auto track_of = [&tracks](std::uint64_t key) -> Track & {
+            auto it = std::lower_bound(
+                tracks.begin(), tracks.end(), key,
+                [](const Track &t, std::uint64_t k) { return t.key < k; });
+            if (it == tracks.end() || it->key != key)
+                it = tracks.insert(it, Track{key, 0});
+            return *it;
+        };
         std::size_t max = 0;
         for (const SpanEvent &e : events_) {
-            auto key = std::make_pair(e.core, e.tid);
+            std::uint64_t key =
+                (static_cast<std::uint64_t>(e.core) << 32) | e.tid;
             if (e.phase == SpanEvent::Phase::kBegin) {
-                max = std::max(max, ++depth[key]);
+                max = std::max(max, ++track_of(key).depth);
             } else if (e.phase == SpanEvent::Phase::kEnd) {
-                if (depth[key] > 0)
-                    --depth[key];
+                Track &t = track_of(key);
+                if (t.depth > 0)
+                    --t.depth;
             }
         }
         return max;
@@ -114,9 +131,23 @@ class SpanTracer {
 
 // -- Global hook ----------------------------------------------------------
 
-/// The attached span tracer, or nullptr.
-SpanTracer *span_sink();
-void set_span_sink(SpanTracer *tracer);
+namespace detail {
+extern SpanTracer *g_span_sink;  ///< Use span_sink() instead.
+}  // namespace detail
+
+/// The attached span tracer, or nullptr.  Inline so the common detached
+/// case is a single load + branch at every Span construction site.
+inline SpanTracer *
+span_sink()
+{
+    return detail::g_span_sink;
+}
+
+inline void
+set_span_sink(SpanTracer *tracer)
+{
+    detail::g_span_sink = tracer;
+}
 
 inline void
 span_begin(const char *name, std::uint64_t ts, std::uint32_t core,

@@ -3,9 +3,10 @@
 
 #include "telemetry/trace_export.h"
 
+#include <algorithm>
 #include <fstream>
-#include <set>
 #include <sstream>
+#include <vector>
 
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
@@ -38,9 +39,12 @@ write_chrome_trace(std::ostream &out, const SpanTracer &tracer,
 
     // Metadata rows: name each core's process track so the viewer shows
     // "core N" instead of a bare pid.
-    std::set<std::uint32_t> cores;
+    std::vector<std::uint32_t> cores;
+    cores.reserve(tracer.events().size());
     for (const SpanEvent &e : tracer.events())
-        cores.insert(e.core);
+        cores.push_back(e.core);
+    std::sort(cores.begin(), cores.end());
+    cores.erase(std::unique(cores.begin(), cores.end()), cores.end());
     for (std::uint32_t core : cores) {
         w.begin_object();
         w.key("name").value("process_name");

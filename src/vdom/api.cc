@@ -187,6 +187,8 @@ VdomSystem::charge_api_entry(hw::Core &core, ApiMode mode)
 {
     const hw::CostTable &costs = core.costs();
     const hw::ArchParams &params = proc_->params();
+    // NB: Cycles is double, so the charge sequence (not just the per-kind
+    // sum) is part of the reproducible output — do not merge charges.
     core.charge(hw::CostKind::kApi, costs.api_call);
     if (params.user_perm_reg) {
         // Intel: user-space PKRU path, optionally through the call gate.
@@ -244,6 +246,8 @@ VdomSystem::wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
     }
     charge_api_entry(core, mode);
     // VDR array update + permission arithmetic + register read/write.
+    // (Separate charges: Cycles is double, so merging them would perturb
+    // the floating-point accumulation order.)
     core.charge(hw::CostKind::kPermReg, costs.vdr_update + costs.perm_compute);
     if (proc_->params().user_perm_reg)
         core.charge(hw::CostKind::kPermReg, costs.perm_reg_read);

@@ -10,14 +10,24 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
+#include <utility>
+#include <vector>
 
+#include "telemetry/metrics.h"
 #include "vdom/types.h"
 
 namespace vdom {
 
 /// Per-thread virtual permission array.
+///
+/// Stored as a sorted small-vector flat map: threads hold permissions on a
+/// handful of vdoms (their active set), so a binary search over a
+/// contiguous array beats a red-black tree on every wrvdr/rdvdr, and
+/// iteration stays deterministic lowest-id-first.  A one-entry memo in
+/// front of the search makes the wrvdr fast path (re-checking the vdom the
+/// thread just touched) a single compare.
 class Vdr {
   public:
     /// Reads the thread's permission on \p vdom (default: access disable,
@@ -27,19 +37,42 @@ class Vdr {
     {
         if (vdom == kCommonVdom)
             return VPerm::kFullAccess;
-        auto it = perms_.find(vdom);
-        return it == perms_.end() ? VPerm::kAccessDisable : it->second;
+        if (vdom == memo_vdom_) {
+            telemetry::metric_add(telemetry::Metric::kVdrMemoHit);
+            return memo_perm_;
+        }
+        auto it = lower_bound(vdom);
+        VPerm perm = (it != perms_.end() && it->first == vdom)
+            ? it->second
+            : VPerm::kAccessDisable;
+        memo_vdom_ = vdom;
+        memo_perm_ = perm;
+        return perm;
     }
 
     /// Writes the thread's permission on \p vdom; returns the old value.
     VPerm
     set(VdomId vdom, VPerm perm)
     {
-        VPerm old = get(vdom);
-        if (perm == VPerm::kAccessDisable)
-            perms_.erase(vdom);
+        VPerm old;
+        auto it = lower_bound(vdom);
+        bool found = it != perms_.end() && it->first == vdom;
+        if (vdom == kCommonVdom)
+            old = VPerm::kFullAccess;
         else
-            perms_[vdom] = perm;
+            old = found ? it->second : VPerm::kAccessDisable;
+        if (perm == VPerm::kAccessDisable) {
+            if (found)
+                perms_.erase(it);
+        } else if (found) {
+            it->second = perm;
+        } else {
+            perms_.insert(it, {vdom, perm});
+        }
+        if (vdom != kCommonVdom) {
+            memo_vdom_ = vdom;
+            memo_perm_ = perm;
+        }
         if (vperm_active(old) && !vperm_active(perm))
             --active_count_;
         else if (!vperm_active(old) && vperm_active(perm))
@@ -77,13 +110,41 @@ class Vdr {
     {
         perms_.clear();
         active_count_ = 0;
+        memo_vdom_ = kInvalidVdom;
+        memo_perm_ = VPerm::kAccessDisable;
     }
 
   private:
-    /// Ordered so iteration (migration mapping order, Fig. 3) is
+    std::vector<std::pair<VdomId, VPerm>>::const_iterator
+    lower_bound(VdomId vdom) const
+    {
+        return std::lower_bound(
+            perms_.begin(), perms_.end(), vdom,
+            [](const std::pair<VdomId, VPerm> &e, VdomId v) {
+                return e.first < v;
+            });
+    }
+
+    std::vector<std::pair<VdomId, VPerm>>::iterator
+    lower_bound(VdomId vdom)
+    {
+        return std::lower_bound(
+            perms_.begin(), perms_.end(), vdom,
+            [](const std::pair<VdomId, VPerm> &e, VdomId v) {
+                return e.first < v;
+            });
+    }
+
+    /// Sorted by vdom id so iteration (migration mapping order, Fig. 3) is
     /// deterministic and lowest-id-first.
-    std::map<VdomId, VPerm> perms_;
+    std::vector<std::pair<VdomId, VPerm>> perms_;
     std::size_t active_count_ = 0;
+
+    /// Last-translation memo.  kInvalidVdom never collides with a real
+    /// query in a correctness-relevant way: get(kInvalidVdom) returns
+    /// kAccessDisable with or without the memo.
+    mutable VdomId memo_vdom_ = kInvalidVdom;
+    mutable VPerm memo_perm_ = VPerm::kAccessDisable;
 };
 
 }  // namespace vdom

@@ -14,18 +14,11 @@ namespace vdom {
 namespace tm = ::vdom::telemetry;
 
 std::optional<hw::Pdom>
-DomainVirtualizer::ensure_mapped(hw::Core &core, kernel::Task &task,
-                                 VdomId vdom, bool charge_kernel_entry)
+DomainVirtualizer::ensure_mapped_slow(hw::Core &core, kernel::Task &task,
+                                      VdomId vdom, bool charge_kernel_entry)
 {
     kernel::Vds &cur = *task.vds();
-    // ❶ Already mapped in the current VDS: nothing to do.
-    if (auto pdom = cur.pdom_of(vdom)) {
-        cur.touch(vdom, core.now());
-        ++stats_.hits;
-        tm::metric_add(tm::Metric::kDomainMapHit, 1, core.id());
-        return pdom;
-    }
-    // Everything below runs in the kernel.
+    // Everything below runs in the kernel (❶ was handled inline).
     tm::Span span("ensure_mapped", core, task.tid(), "virt");
     if (charge_kernel_entry)
         core.charge(hw::CostKind::kSyscall, core.costs().syscall);

@@ -25,6 +25,7 @@
 #include "kernel/process.h"
 #include "kernel/task.h"
 #include "kernel/vds.h"
+#include "telemetry/metrics.h"
 #include "vdom/types.h"
 
 namespace vdom {
@@ -47,18 +48,40 @@ class DomainVirtualizer {
     /// Makes \p vdom usable by \p task: on return, \p task->vds() maps
     /// \p vdom to the returned pdom.
     ///
+    /// Inline fast path for ❶ (vdom already mapped in the current VDS —
+    /// the common case on every repeat wrvdr grant); everything else goes
+    /// out of line.
+    ///
     /// \param charge_kernel_entry charge a syscall on the slow path (false
     ///        when the caller already paid fault entry).
     /// \returns nullopt only if \p vdom has no possible placement (cannot
     ///          happen for allocated vdoms).
-    std::optional<hw::Pdom> ensure_mapped(hw::Core &core, kernel::Task &task,
-                                          VdomId vdom,
-                                          bool charge_kernel_entry = true);
+    std::optional<hw::Pdom>
+    ensure_mapped(hw::Core &core, kernel::Task &task, VdomId vdom,
+                  bool charge_kernel_entry = true)
+    {
+        kernel::Vds &cur = *task.vds();
+        // ❶ Already mapped in the current VDS: nothing to do.
+        if (auto pdom = cur.pdom_of(vdom)) {
+            cur.touch(vdom, core.now());
+            ++stats_.hits;
+            telemetry::metric_add(telemetry::Metric::kDomainMapHit, 1,
+                                  core.id());
+            return pdom;
+        }
+        return ensure_mapped_slow(core, task, vdom, charge_kernel_entry);
+    }
 
     const Stats &stats() const { return stats_; }
     void reset_stats() { stats_ = Stats{}; }
 
   private:
+    /// Steps ❷..❽ (vdom not mapped in the current VDS).
+    std::optional<hw::Pdom> ensure_mapped_slow(hw::Core &core,
+                                               kernel::Task &task,
+                                               VdomId vdom,
+                                               bool charge_kernel_entry);
+
     /// True when \p vds can hold \p task's active set plus \p vdom (❼).
     bool fits(const kernel::Task &task, const kernel::Vds &vds,
               VdomId vdom) const;
