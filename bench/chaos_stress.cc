@@ -7,7 +7,15 @@
 /// The run is fully seeded: the same `--seed` produces bit-identical JSON
 /// (scripts/run_all.sh diffs two runs to prove it).
 ///
+/// With `--postmortem PATH`, an invariant violation dumps a post-mortem
+/// bundle (telemetry/postmortem.h) to PATH; when no violation occurs, a
+/// forced terminal snapshot of the armed X86 run is written instead, so
+/// the file always exists and is byte-identical across same-seed runs
+/// (run_all.sh diffs the bundles too, and scripts/vdom_inspect.py renders
+/// them).
+///
 /// Usage: chaos_stress [--quick] [--seed N] [--json out.json]
+///                     [--postmortem bundle.json]
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,7 +52,8 @@ all_sites_armed()
 
 int
 run_config(BenchReport &report, hw::ArchKind arch, bool armed, int ops,
-           std::uint64_t seed)
+           std::uint64_t seed, const std::string &postmortem,
+           bool force_snapshot)
 {
     sim::ChaosConfig config;
     config.arch = arch;
@@ -52,6 +61,7 @@ run_config(BenchReport &report, hw::ArchKind arch, bool armed, int ops,
     config.seed = seed;
     if (armed)
         config.faults = all_sites_armed();
+    config.postmortem_path = postmortem;
 
     telemetry::MetricsRegistry registry(config.cores);
     sim::ChaosHarness harness(config);
@@ -59,7 +69,17 @@ run_config(BenchReport &report, hw::ArchKind arch, bool armed, int ops,
     {
         telemetry::ScopedMetrics attach(registry);
         result = harness.run();
+        // No violation, but a bundle was requested: snapshot the armed X86
+        // run's terminal state so the file exists deterministically.
+        if (force_snapshot && !postmortem.empty() &&
+            !result.postmortem_written) {
+            if (harness.export_postmortem(postmortem, "terminal_snapshot"))
+                std::printf("postmortem snapshot -> %s\n",
+                            postmortem.c_str());
+        }
     }
+    if (result.postmortem_written)
+        std::fprintf(stderr, "postmortem bundle -> %s\n", postmortem.c_str());
 
     std::printf("%-4s %-7s ops=%-6llu faults=%-6llu retries=%-5llu "
                 "transient=%-5llu ok=%-6llu denied=%-6llu checks=%llu\n",
@@ -122,13 +142,17 @@ main(int argc, char **argv)
     std::uint64_t seed =
         seed_arg.empty() ? 42 : std::strtoull(seed_arg.c_str(), nullptr, 10);
 
+    std::string postmortem = bench::arg_value(argc, argv, "--postmortem");
+
     std::printf("chaos_stress: fault-armed churn (seed %llu)\n",
                 static_cast<unsigned long long>(seed));
     BenchReport report("chaos_stress", argc, argv);
     int rc = 0;
     for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm}) {
-        rc |= run_config(report, arch, /*armed=*/false, ops, seed);
-        rc |= run_config(report, arch, /*armed=*/true, ops, seed);
+        rc |= run_config(report, arch, /*armed=*/false, ops, seed,
+                         postmortem, false);
+        rc |= run_config(report, arch, /*armed=*/true, ops, seed,
+                         postmortem, arch == hw::ArchKind::kX86);
     }
     report.write();
     return rc;

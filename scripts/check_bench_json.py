@@ -2,13 +2,20 @@
 """Schema check for the --json records the benches emit.
 
 Usage: scripts/check_bench_json.py FILE [FILE...]
+       scripts/check_bench_json.py --bundle BUNDLE [BUNDLE...]
 
-Each file must hold a non-empty JSON array of records shaped as
+Each bench file must hold a non-empty JSON array of records shaped as
     {bench, config{...}, metrics{...}, breakdown{...},
      percentiles{p50, p90, p99}}
 where breakdown keys are the simulator's cost-kind names and the
-percentiles are ordered (p50 <= p90 <= p99).  Exits non-zero, naming the
-offending file/record, on the first violation.
+percentiles are ordered (p50 <= p90 <= p99).
+
+With --bundle, each file must hold one post-mortem bundle object
+(telemetry/postmortem.h):
+    {bundle: "vdom_postmortem", version, reason, context{...},
+     flight{...}?, introspect{...}?, metrics{...}?, fault_plan{...}?}
+
+Exits non-zero, naming the offending file/record, on the first violation.
 """
 
 import json
@@ -71,9 +78,132 @@ def check_file(path):
     return len(records)
 
 
+# Must match fault_site_name() in src/sim/fault.h.
+FAULT_SITES = {
+    "tlb_entry_drop", "pte_write_delay", "perm_reg_write_fail", "ipi_drop",
+    "asid_exhaustion", "vds_alloc_fail", "vdt_alloc_fail", "vdr_exhausted",
+    "gate_entry_denied",
+}
+
+FLIGHT_RECORD_INT_KEYS = ("seq", "ts", "core", "tid", "flow", "a", "b")
+
+INTROSPECT_SUMMARY_KEYS = (
+    "vdses", "live_vdoms", "mapped_slots", "free_slots", "resident_threads",
+    "protected_pages", "vdt_leaves",
+)
+
+
+def bfail(path, msg):
+    sys.exit(f"{path}: bundle: {msg}")
+
+
+def check_bundle(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{path}: invalid JSON: {e}")
+    if not isinstance(doc, dict):
+        bfail(path, "top-level value must be an object")
+    if doc.get("bundle") != "vdom_postmortem":
+        bfail(path, f"bundle key is {doc.get('bundle')!r}, "
+                    "expected 'vdom_postmortem'")
+    if not isinstance(doc.get("version"), int) or doc["version"] < 1:
+        bfail(path, "version must be an int >= 1")
+    if not isinstance(doc.get("reason"), str) or not doc["reason"]:
+        bfail(path, "reason must be a non-empty string")
+    if not isinstance(doc.get("context"), dict):
+        bfail(path, "context must be an object")
+    for key, value in doc["context"].items():
+        if not isinstance(value, str):
+            bfail(path, f"context.{key} must be a string")
+
+    flight = doc.get("flight")
+    if flight is not None:
+        if not isinstance(flight, dict):
+            bfail(path, "flight must be an object")
+        for key in ("cores", "per_core_capacity", "total", "dropped",
+                    "last_flow", "omitted"):
+            if not isinstance(flight.get(key), int) or flight[key] < 0:
+                bfail(path, f"flight.{key} must be an int >= 0")
+        records = flight.get("records")
+        if not isinstance(records, list):
+            bfail(path, "flight.records must be an array")
+        prev_seq = 0
+        for i, rec in enumerate(records):
+            if not isinstance(rec, dict):
+                bfail(path, f"flight.records[{i}] is not an object")
+            for key in FLIGHT_RECORD_INT_KEYS:
+                if not isinstance(rec.get(key), int):
+                    bfail(path, f"flight.records[{i}].{key} "
+                                "must be an int")
+            if not isinstance(rec.get("kind"), str) or not rec["kind"]:
+                bfail(path, f"flight.records[{i}].kind must be a "
+                            "non-empty string")
+            if rec["seq"] <= prev_seq:
+                bfail(path, f"flight.records[{i}].seq not increasing")
+            prev_seq = rec["seq"]
+
+    introspect = doc.get("introspect")
+    if introspect is not None:
+        if not isinstance(introspect, dict):
+            bfail(path, "introspect must be an object")
+        summary = introspect.get("summary")
+        if not isinstance(summary, dict):
+            bfail(path, "introspect.summary must be an object")
+        for key in INTROSPECT_SUMMARY_KEYS:
+            if not isinstance(summary.get(key), int):
+                bfail(path, f"introspect.summary.{key} must be an int")
+        if not isinstance(introspect.get("report"), str):
+            bfail(path, "introspect.report must be a string")
+
+    metrics = doc.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict):
+            bfail(path, "metrics must be an object")
+        for name, value in metrics.items():
+            if not isinstance(value, (int, float)):
+                bfail(path, f"metric {name!r} is not a number")
+
+    plan = doc.get("fault_plan")
+    if plan is not None:
+        if not isinstance(plan, dict):
+            bfail(path, "fault_plan must be an object")
+        if not isinstance(plan.get("total_fires"), int):
+            bfail(path, "fault_plan.total_fires must be an int")
+        sites = plan.get("sites")
+        if not isinstance(sites, list) or not sites:
+            bfail(path, "fault_plan.sites must be a non-empty array")
+        seen = set()
+        for i, site in enumerate(sites):
+            if not isinstance(site, dict):
+                bfail(path, f"fault_plan.sites[{i}] is not an object")
+            name = site.get("site")
+            if name not in FAULT_SITES:
+                bfail(path, f"fault_plan.sites[{i}].site {name!r} unknown")
+            seen.add(name)
+            if not isinstance(site.get("armed"), bool):
+                bfail(path, f"fault_plan.sites[{i}].armed must be a bool")
+            for key in ("occurrences", "fires"):
+                if not isinstance(site.get(key), int):
+                    bfail(path, f"fault_plan.sites[{i}].{key} "
+                                "must be an int")
+        missing = FAULT_SITES - seen
+        if missing:
+            bfail(path, f"fault_plan missing sites: {sorted(missing)}")
+
+
 def main(argv):
     if len(argv) < 2:
         sys.exit(__doc__.strip())
+    if argv[1] == "--bundle":
+        if len(argv) < 3:
+            sys.exit(__doc__.strip())
+        for path in argv[2:]:
+            check_bundle(path)
+            print(f"{path}: bundle ok")
+        print(f"checked {len(argv) - 2} bundle(s)")
+        return
     total = 0
     for path in argv[1:]:
         n = check_file(path)

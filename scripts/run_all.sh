@@ -50,14 +50,28 @@ for b in build/bench/*; do
 done
 
 # Fault-injection determinism gate: the chaos bench is fully seeded, so a
-# second run with the same seed must produce byte-identical JSON.  The
-# rerun lands outside results/json so it never pollutes the aggregation.
+# second run with the same seed must produce byte-identical JSON -- and a
+# byte-identical post-mortem bundle (violation dump if an invariant ever
+# trips, forced terminal snapshot otherwise).  The rerun lands outside
+# results/json so it never pollutes the aggregation.
 echo "== chaos_stress determinism check =="
 ./build/bench/chaos_stress $QUICK --json results/chaos_stress_rerun.json \
-    > /dev/null 2>&1
+    --postmortem results/chaos_postmortem.json > /dev/null 2>&1
+./build/bench/chaos_stress $QUICK --json results/chaos_stress_rerun2.json \
+    --postmortem results/chaos_postmortem_rerun.json > /dev/null 2>&1
 cmp results/json/chaos_stress.json results/chaos_stress_rerun.json
-rm -f results/chaos_stress_rerun.json
-echo "chaos_stress: two seeded runs byte-identical"
+cmp results/chaos_postmortem.json results/chaos_postmortem_rerun.json
+rm -f results/chaos_stress_rerun.json results/chaos_stress_rerun2.json \
+    results/chaos_postmortem_rerun.json
+echo "chaos_stress: two seeded runs byte-identical (JSON + bundle)"
+
+# Bundle pipeline: schema-check the post-mortem bundle, then render the
+# human-readable report and a Perfetto-loadable flow trace from it.
+python3 scripts/check_bench_json.py --bundle results/chaos_postmortem.json
+python3 scripts/vdom_inspect.py results/chaos_postmortem.json \
+    --trace results/chaos_postmortem.trace.json \
+    | tee results/chaos_postmortem.txt > /dev/null
+echo "chaos_stress: bundle schema ok, report + flow trace rendered"
 
 # PR5 perf snapshot: distill the host-time microbenchmarks into one
 # repo-root document (ns/op and derived items/s per case) so the

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Render a VDom post-mortem bundle into a human-readable report.
+
+Usage: scripts/vdom_inspect.py BUNDLE [--trace OUT.trace.json] [--last N]
+
+BUNDLE is the JSON document written by telemetry/postmortem.h (e.g. by
+`chaos_stress --postmortem bundle.json` or by the chaos harness on an
+invariant violation).  The report shows why the run died, the causal
+flight-recorder timeline leading up to it (grouped by flow so cross-core
+shootdown chains read issue -> receipt -> flush), the kernel introspect
+snapshot, the hottest metrics, and which fault sites fired.
+
+With --trace, also emits a Chrome-trace / Perfetto-loadable JSON of the
+flight records: span kinds as B/E/i events, everything else as thin
+slices, plus s/t/f flow events drawing issuer -> receiver arrows (open in
+ui.perfetto.dev or chrome://tracing).
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+SPAN_KINDS = {"span_begin": "B", "span_end": "E", "span_instant": "i"}
+
+
+def load_bundle(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bundle") != "vdom_postmortem":
+        sys.exit(f"{path}: not a vdom_postmortem bundle")
+    return doc
+
+
+def fmt_record(rec):
+    extra = ""
+    if rec.get("flow"):
+        extra += f" flow={rec['flow']}"
+    if rec.get("a"):
+        extra += f" a={rec['a']}"
+    if rec.get("b"):
+        extra += f" b={rec['b']}"
+    if rec.get("name"):
+        extra += f" name={rec['name']}"
+    tid = f" tid={rec['tid']}" if rec.get("tid") else ""
+    return (f"  #{rec['seq']:<6} core{rec['core']}{tid} "
+            f"@{rec['ts']:<10} {rec['kind']}{extra}")
+
+
+def print_report(doc, last_n):
+    print("=" * 72)
+    print(f"VDom post-mortem bundle (version {doc.get('version')})")
+    print(f"reason: {doc.get('reason')}")
+    context = doc.get("context") or {}
+    if context:
+        pairs = ", ".join(f"{k}={v}" for k, v in context.items())
+        print(f"context: {pairs}")
+    print("=" * 72)
+
+    flight = doc.get("flight")
+    if flight:
+        records = flight.get("records", [])
+        shown = records[-last_n:] if last_n else records
+        print(f"\n-- flight recorder: {flight['total']} record(s) seen, "
+              f"{flight['dropped']} dropped, {flight['omitted']} omitted "
+              f"from bundle, {flight['last_flow']} flow(s), "
+              f"{flight['cores']} core ring(s) x "
+              f"{flight['per_core_capacity']} --")
+        for rec in shown:
+            print(fmt_record(rec))
+
+        # Causality digest: each flow's chain on one line.
+        flows = {}
+        for rec in records:
+            if rec.get("flow"):
+                flows.setdefault(rec["flow"], []).append(rec)
+        chains = {f: rs for f, rs in flows.items() if len(rs) > 1}
+        if chains:
+            print(f"\n-- causal flows ({len(chains)} chain(s)) --")
+            for flow in sorted(chains):
+                rs = chains[flow]
+                steps = " -> ".join(
+                    f"{r['kind']}@core{r['core']}" for r in rs)
+                print(f"  flow {flow}: {steps}")
+
+    introspect = doc.get("introspect")
+    if introspect:
+        s = introspect.get("summary", {})
+        print("\n-- introspect snapshot --")
+        print(f"  vdses={s.get('vdses')} live_vdoms={s.get('live_vdoms')} "
+              f"mapped_slots={s.get('mapped_slots')} "
+              f"free_slots={s.get('free_slots')}")
+        print(f"  resident_threads={s.get('resident_threads')} "
+              f"protected_pages={s.get('protected_pages')} "
+              f"vdt_leaves={s.get('vdt_leaves')}")
+        report = introspect.get("report", "")
+        if report:
+            print("  report:")
+            for line in report.rstrip("\n").split("\n"):
+                print(f"    {line}")
+
+    metrics = doc.get("metrics")
+    if metrics:
+        print(f"\n-- metrics ({len(metrics)} non-zero) --")
+        width = max(len(k) for k in metrics)
+        for name in sorted(metrics):
+            print(f"  {name:<{width}}  {metrics[name]}")
+
+    plan = doc.get("fault_plan")
+    if plan:
+        print(f"\n-- fault plan: {plan['total_fires']} total fire(s) --")
+        for site in plan.get("sites", []):
+            armed = "armed" if site.get("armed") else "unarmed"
+            line = (f"  {site['site']:<20} {armed:<8} "
+                    f"occurrences={site['occurrences']:<7} "
+                    f"fires={site['fires']}")
+            if site.get("armed") and "probability" in site:
+                line += f" (p={site['probability']}"
+                if site.get("every"):
+                    line += f", every={site['every']}"
+                if site.get("skip"):
+                    line += f", skip={site['skip']}"
+                line += ")"
+            print(line)
+    print()
+
+
+def write_trace(doc, path):
+    flight = doc.get("flight") or {}
+    records = flight.get("records", [])
+    events = []
+    cores = set()
+    depth = {}  # (pid, tid) -> open-span count, to drop truncated ends
+    for rec in records:
+        cores.add(rec["core"])
+        base = {
+            "pid": rec["core"],
+            "tid": rec.get("tid", 0),
+            "ts": rec["ts"],
+            "args": {"seq": rec["seq"], "flow": rec.get("flow", 0),
+                     "a": rec.get("a", 0), "b": rec.get("b", 0)},
+        }
+        kind = rec["kind"]
+        if kind in SPAN_KINDS:
+            # The bundle holds only the newest records, so a span_end whose
+            # begin fell off the ring would render as an unmatched E; skip it.
+            lane = (base["pid"], base["tid"])
+            if kind == "span_begin":
+                depth[lane] = depth.get(lane, 0) + 1
+            elif kind == "span_end":
+                if depth.get(lane, 0) == 0:
+                    continue
+                depth[lane] -= 1
+            events.append({**base, "name": rec.get("name") or kind,
+                           "cat": "flight", "ph": SPAN_KINDS[kind]})
+        else:
+            events.append({**base, "name": kind, "cat": "flight",
+                           "ph": "X", "dur": 1})
+    # Flow arrows: one s -> t... -> f chain per causality id.
+    flows = {}
+    for rec in records:
+        if rec.get("flow"):
+            flows.setdefault(rec["flow"], []).append(rec)
+    for flow, rs in sorted(flows.items()):
+        if len(rs) < 2:
+            continue
+        for k, rec in enumerate(rs):
+            ph = "s" if k == 0 else ("f" if k == len(rs) - 1 else "t")
+            ev = {"name": "causal", "cat": "flow", "ph": ph, "id": flow,
+                  "pid": rec["core"], "tid": rec.get("tid", 0),
+                  "ts": rec["ts"]}
+            if ph == "f":
+                ev["bp"] = "e"
+            events.append(ev)
+    for core in sorted(cores):
+        events.append({"name": "process_name", "ph": "M", "pid": core,
+                       "args": {"name": f"core{core}"}})
+    out = {"traceEvents": events, "displayTimeUnit": "ns"}
+    with open(path, "w") as f:
+        json.dump(out, f, indent=1)
+        f.write("\n")
+    print(f"wrote {path} ({len(events)} event(s))")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Render a VDom post-mortem bundle.")
+    parser.add_argument("bundle", help="bundle JSON path")
+    parser.add_argument("--trace", metavar="OUT",
+                        help="also write a Perfetto-loadable trace")
+    parser.add_argument("--last", type=int, default=40, metavar="N",
+                        help="flight records to print (0 = all; default 40)")
+    args = parser.parse_args()
+    doc = load_bundle(args.bundle)
+    print_report(doc, args.last)
+    if args.trace:
+        write_trace(doc, args.trace)
+
+
+if __name__ == "__main__":
+    main()

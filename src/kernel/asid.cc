@@ -6,15 +6,25 @@
 #include <limits>
 
 #include "sim/fault.h"
+#include "telemetry/flightrec.h"
 #include "telemetry/metrics.h"
 
 namespace vdom::kernel {
 
+namespace {
+hw::Asid g_asid_counter = 0;
+}  // namespace
+
 hw::Asid
 next_unique_asid()
 {
-    static hw::Asid counter = 0;
-    return ++counter;
+    return ++g_asid_counter;
+}
+
+void
+reset_unique_asids()
+{
+    g_asid_counter = 0;
 }
 
 std::unique_ptr<AsidAllocator>
@@ -84,7 +94,8 @@ X86PcidAllocator::assign(std::size_t core, std::uint64_t ctx_id)
     victim->ctx_id = ctx_id;
     victim->asid = next_unique_asid();
     victim->lru = tick_;
-    return {victim->asid, recycled, false};
+    return {victim->asid, recycled, false,
+            recycled ? telemetry::flight_new_flow() : 0};
 }
 
 ArmAsidAllocator::ArmAsidAllocator(std::size_t space_size)
@@ -114,7 +125,7 @@ ArmAsidAllocator::assign(std::size_t core, std::uint64_t ctx_id)
         hw::Asid asid = next_unique_asid();
         active_[ctx_id] = asid;
         ++used_;
-        return {asid, false, true};
+        return {asid, false, true, telemetry::flight_new_flow()};
     }
     hw::Asid asid = next_unique_asid();
     active_[ctx_id] = asid;

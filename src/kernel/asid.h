@@ -30,6 +30,10 @@ struct AsidAssignment {
     hw::Asid asid = 0;
     bool need_flush_asid = false;  ///< A recycled slot must be invalidated.
     bool need_flush_all = false;   ///< ARM generation rollover.
+    /// Causality id for the flush this assignment implies (0 = none).
+    /// Allocated from the flight recorder on the recycle/rollover paths so
+    /// the caller's flushes and shootdowns join the same flow.
+    std::uint64_t flow = 0;
 };
 
 /// Architecture-specific ASID policy.
@@ -73,6 +77,12 @@ class X86PcidAllocator final : public AsidAllocator {
 /// (real hardware reaches the same guarantee through flushes; unique tags
 /// are the simulator's cheaper equivalent).
 hw::Asid next_unique_asid();
+
+/// Restarts the unique-tag counter.  Only for harnesses that build several
+/// same-seed worlds in one OS process and need their ASID streams (and
+/// thus flight records / post-mortem bundles) byte-identical; never call
+/// while a machine built under the old counter is still in use.
+void reset_unique_asids();
 
 /// ARM global ASID allocator with generation rollover.
 class ArmAsidAllocator final : public AsidAllocator {

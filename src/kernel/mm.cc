@@ -4,6 +4,7 @@
 #include "kernel/mm.h"
 
 #include "sim/fault.h"
+#include "telemetry/flightrec.h"
 #include "telemetry/metrics.h"
 
 namespace vdom::kernel {
@@ -121,8 +122,15 @@ MmStruct::assign_vdom(hw::Core &core, hw::Vpn start, std::uint64_t pages,
     }
     // Injected VDT allocation failure: reject before any VMA or page
     // table has been touched, so the caller sees a clean failure.
-    if (sim::fault_fires(sim::FaultSite::kVdtAllocFail))
+    if (sim::fault_fires(sim::FaultSite::kVdtAllocFail)) {
+        telemetry::flight_record(
+            {telemetry::FlightEvent::kFaultInjected,
+             static_cast<std::uint32_t>(core.id()), 0,
+             static_cast<std::uint64_t>(core.now()), 0,
+             static_cast<std::uint64_t>(sim::FaultSite::kVdtAllocFail), vdom,
+             sim::fault_site_name(sim::FaultSite::kVdtAllocFail)});
         return VdomStatus::kResourceExhausted;
+    }
     // vdom_mprotect protects "pages containing any part within
     // [addr, addr+len-1]" — expand to whole-VMA-clamped page ranges and
     // split VMAs so the protected span is exactly covered.
@@ -170,7 +178,16 @@ MmStruct::flush_everywhere(hw::Core &core)
     if (!shootdown_)
         return;
     std::uint64_t cpus = union_cpu_bitmap();
-    shootdown_->shoot(core, cpus, FlushKind::kAll);
+    // Anchor the process-wide flush on the initiating core so the issue →
+    // receipt arrows in the flight trace hang off a named cause.
+    std::uint64_t flow = telemetry::flight_new_flow();
+    if (flow) {
+        telemetry::flight_record(
+            {telemetry::FlightEvent::kFlushAll,
+             static_cast<std::uint32_t>(core.id()), 0,
+             static_cast<std::uint64_t>(core.now()), flow, cpus});
+    }
+    shootdown_->shoot(core, cpus, FlushKind::kAll, 0, 0, 0, false, flow);
     shootdown_->local_flush(core, FlushKind::kAll);
     // The flush-all scrubbed every entry on those cores: record the new
     // generations so switch-in does not pay a redundant flush.
@@ -293,8 +310,16 @@ MmStruct::install_vdom_in_vds(hw::Core &core, Vds &vds, VdomId vdom,
             : union_cpu_bitmap();
         others &= ~(1ULL << core.id());
         if (others) {
+            std::uint64_t flow = telemetry::flight_new_flow();
+            if (flow) {
+                telemetry::flight_record(
+                    {telemetry::FlightEvent::kVdomInstall,
+                     static_cast<std::uint32_t>(core.id()), 0,
+                     static_cast<std::uint64_t>(core.now()), flow, vdom,
+                     vds.id()});
+            }
             shootdown_->shoot(core, others, FlushKind::kAsid, 0, 0, 0,
-                              /*target_current_asid=*/true);
+                              /*target_current_asid=*/true, flow);
             for (std::size_t c = 0; c < 64; ++c) {
                 if (others & (1ULL << c))
                     vds.set_core_seen_gen(c, vds.tlb_gen());
@@ -339,8 +364,16 @@ MmStruct::evict_vdom_from_vds(hw::Core &core, Vds &vds, VdomId vdom)
             : union_cpu_bitmap();
         others &= ~(1ULL << core.id());
         if (others) {
+            std::uint64_t flow = telemetry::flight_new_flow();
+            if (flow) {
+                telemetry::flight_record(
+                    {telemetry::FlightEvent::kVdomEvict,
+                     static_cast<std::uint32_t>(core.id()), 0,
+                     static_cast<std::uint64_t>(core.now()), flow, vdom,
+                     vds.id()});
+            }
             shootdown_->shoot(core, others, FlushKind::kAsid, 0, 0, 0,
-                              /*target_current_asid=*/true);
+                              /*target_current_asid=*/true, flow);
             for (std::size_t c = 0; c < 64; ++c) {
                 if (others & (1ULL << c))
                     vds.set_core_seen_gen(c, vds.tlb_gen());
@@ -396,6 +429,13 @@ MmStruct::charge_pt_ops(hw::Core &core, const hw::PtOps &ops,
     if ((ops.pte_writes || ops.pmd_writes) &&
         sim::fault_fires(sim::FaultSite::kPteWriteDelay)) {
         cycles += costs.pte_update;
+        telemetry::flight_record(
+            {telemetry::FlightEvent::kFaultInjected,
+             static_cast<std::uint32_t>(core.id()), 0,
+             static_cast<std::uint64_t>(core.now()), 0,
+             static_cast<std::uint64_t>(sim::FaultSite::kPteWriteDelay),
+             ops.pte_writes,
+             sim::fault_site_name(sim::FaultSite::kPteWriteDelay)});
     }
     core.charge(kind, cycles);
 }

@@ -9,12 +9,14 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "hw/arch.h"
 #include "hw/machine.h"
 #include "sim/fault.h"
 #include "sim/trace.h"
+#include "telemetry/flightrec.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
 
@@ -52,15 +54,39 @@ class ShootdownManager {
     ///        semantics when shooting cores that are running the VDS whose
     ///        tables changed.
     /// \param vpn,count  page range (kRange).
+    /// \param flow  causality id threading this shootdown into a larger
+    ///        interaction (ASID rollover, eviction, flush-everywhere); 0
+    ///        allocates a fresh flow when a flight recorder is attached.
     void
     shoot(hw::Core &initiator, std::uint64_t cpu_bitmap, FlushKind kind,
           hw::Asid asid = 0, hw::Vpn vpn = 0, std::uint64_t count = 0,
-          bool target_current_asid = false)
+          bool target_current_asid = false, std::uint64_t flow = 0)
     {
         const hw::CostTable &costs = initiator.costs();
         hw::Cycles start = initiator.now();
         std::uint64_t ipis = 0;
         std::uint64_t retries = 0;
+        // Flight recorder: the issue record must precede every receipt in
+        // program order, so the fan-out is pre-counted off-path.  All of
+        // this is skipped (one branch) when no recorder is attached, and
+        // it never touches simulated time.
+        telemetry::FlightRecorder *flight = telemetry::flight_sink();
+        std::uint64_t use_flow = 0;
+        if (flight) {
+            std::uint64_t fanout = 0;
+            for (std::size_t c = 0; c < machine_->num_cores(); ++c)
+                if (c != initiator.id() && (cpu_bitmap & (1ULL << c)))
+                    ++fanout;
+            if (fanout) {
+                use_flow = flow ? flow : flight->new_flow();
+                flight->record(
+                    {telemetry::FlightEvent::kShootdownIssue,
+                     static_cast<std::uint32_t>(initiator.id()), 0,
+                     static_cast<std::uint64_t>(start), use_flow, fanout,
+                     static_cast<std::uint64_t>(kind)});
+            }
+        }
+        hw::Cycles last_done = start;
         for (std::size_t c = 0; c < machine_->num_cores(); ++c) {
             if (c == initiator.id() || !(cpu_bitmap & (1ULL << c)))
                 continue;
@@ -80,10 +106,25 @@ class ShootdownManager {
                 telemetry::metric_add(
                     telemetry::Metric::kShootdownRetries, 1,
                     initiator.id());
+                telemetry::flight_record(
+                    {telemetry::FlightEvent::kIpiRetry,
+                     static_cast<std::uint32_t>(initiator.id()), 0,
+                     static_cast<std::uint64_t>(initiator.now()), use_flow,
+                     static_cast<std::uint64_t>(attempt), c});
             }
             target.charge(hw::CostKind::kShootdown, costs.ipi_handle);
+            telemetry::flight_record(
+                {telemetry::FlightEvent::kIpiReceive,
+                 static_cast<std::uint32_t>(c), 0,
+                 static_cast<std::uint64_t>(target.now()), use_flow});
             hw::Asid use = target_current_asid ? target.asid() : asid;
             apply_flush(target, kind, use, vpn, count);
+            telemetry::flight_record(
+                {telemetry::FlightEvent::kRemoteFlush,
+                 static_cast<std::uint32_t>(c), 0,
+                 static_cast<std::uint64_t>(target.now()), use_flow, use,
+                 static_cast<std::uint64_t>(kind)});
+            last_done = std::max(last_done, target.now());
             initiator.charge(hw::CostKind::kShootdown,
                              costs.ipi_post + costs.ipi_wait);
             ++ipis;
@@ -93,7 +134,8 @@ class ShootdownManager {
             stats_.ipis += ipis;
             stats_.retries += retries;
             sim::trace({sim::TraceEvent::kShootdown, initiator.now(), 0,
-                        kInvalidVdom, 0, 0});
+                        kInvalidVdom, 0, 0,
+                        static_cast<std::uint32_t>(initiator.id())});
             std::size_t shard = initiator.id();
             telemetry::metric_add(telemetry::Metric::kShootdowns, 1, shard);
             telemetry::metric_add(telemetry::Metric::kShootdownIpis, ipis,
@@ -103,6 +145,15 @@ class ShootdownManager {
             telemetry::metric_observe(
                 telemetry::Metric::kShootdownLatency,
                 static_cast<std::uint64_t>(initiator.now() - start), shard);
+            // Flow shape: fan-out, and end-to-end latency from issue to
+            // the last remote flush completion (target clocks can trail
+            // the initiator's, so clamp at the initiator-side wait).
+            telemetry::metric_observe(telemetry::Metric::kShootdownFanout,
+                                      ipis, shard);
+            hw::Cycles e2e_end = std::max(last_done, initiator.now());
+            telemetry::metric_observe(
+                telemetry::Metric::kShootdownE2eLatency,
+                static_cast<std::uint64_t>(e2e_end - start), shard);
             telemetry::span_instant(
                 "shootdown", static_cast<std::uint64_t>(initiator.now()),
                 static_cast<std::uint32_t>(initiator.id()), 0, "kernel");
@@ -117,14 +168,16 @@ class ShootdownManager {
         apply_flush(core, kind, asid, vpn, count);
     }
 
-    /// Broadcast flush-all to every core (ARM ASID rollover).
+    /// Broadcast flush-all to every core (ARM ASID rollover).  \p flow
+    /// threads the triggering interaction's causality id through the
+    /// shootdown (0 = allocate fresh).
     void
-    broadcast_flush_all(hw::Core &initiator)
+    broadcast_flush_all(hw::Core &initiator, std::uint64_t flow = 0)
     {
         std::uint64_t all = (machine_->num_cores() >= 64)
             ? ~0ULL
             : ((1ULL << machine_->num_cores()) - 1);
-        shoot(initiator, all, FlushKind::kAll);
+        shoot(initiator, all, FlushKind::kAll, 0, 0, 0, false, flow);
         local_flush(initiator, FlushKind::kAll);
     }
 

@@ -41,6 +41,10 @@ class Vds {
     /// Unique context identifier (feeds the ASID allocators).
     std::uint64_t ctx_id() const { return ctx_id_; }
 
+    /// Restarts the context-id counter (pairs with reset_unique_asids():
+    /// only for harnesses rebuilding same-seed worlds in one process).
+    static void reset_ctx_ids() { next_ctx_id_ = 1; }
+
     // --- domain map -------------------------------------------------------
     //
     // The per-vdom probes (is_mapped/pdom_of/touch/thread refs) are inline:

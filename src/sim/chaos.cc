@@ -4,8 +4,11 @@
 #include "sim/chaos.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "sim/rng.h"
+#include "telemetry/metrics.h"
+#include "telemetry/postmortem.h"
 
 namespace vdom::sim {
 
@@ -30,7 +33,8 @@ ChaosHarness::ChaosHarness(const ChaosConfig &config)
       machine_(std::make_unique<hw::Machine>(params_)),
       proc_(std::make_unique<kernel::Process>(*machine_)),
       sys_(std::make_unique<VdomSystem>(*proc_)),
-      plan_(config.seed)
+      plan_(config.seed),
+      flight_(config.cores, config.flight_per_core)
 {
     for (const auto &[site, spec] : config_.faults)
         plan_.arm(site, spec);
@@ -76,6 +80,12 @@ ChaosHarness::run()
     ChaosResult result;
     Rng rng(config_.seed + 0x9e3779b97f4a7c15ULL);
     ScopedFaults armed(plan_);
+    // The flight recorder rides along for the whole churn (it observes,
+    // never charges), so a violation bundle carries the causal timeline
+    // that led to it.  A zero budget disables the recorder entirely.
+    std::optional<telemetry::ScopedFlightRecorder> recording;
+    if (config_.flight_per_core > 0)
+        recording.emplace(flight_);
 
     for (int op = 0; op < config_.ops; ++op) {
         std::size_t ti = rng.below(tasks_.size());
@@ -211,7 +221,28 @@ ChaosHarness::run()
     for (std::size_t c = 0; c < machine_->num_cores(); ++c)
         result.max_clock = std::max(result.max_clock,
                                     machine_->core(c).now());
+    result.flight_records = flight_.total();
+    result.flows = flight_.last_flow();
     return result;
+}
+
+bool
+ChaosHarness::export_postmortem(const std::string &path,
+                                const std::string &reason, int op) const
+{
+    telemetry::PostmortemInfo info;
+    info.reason = reason;
+    info.context.emplace_back("arch", hw::arch_name(config_.arch));
+    info.context.emplace_back("seed", std::to_string(config_.seed));
+    info.context.emplace_back("cores", std::to_string(config_.cores));
+    info.context.emplace_back("ops", std::to_string(config_.ops));
+    if (op >= 0)
+        info.context.emplace_back("op", std::to_string(op));
+    info.flight = &flight_;
+    info.metrics = telemetry::metrics_sink();
+    info.plan = &plan_;
+    info.system = sys_.get();
+    return telemetry::export_postmortem(path, info);
 }
 
 void
@@ -254,6 +285,14 @@ ChaosHarness::record_violation(ChaosResult &result, int op,
         result.first_violation = "op " + std::to_string(op) + " (seed " +
                                  std::to_string(config_.seed) + ", " +
                                  hw::arch_name(config_.arch) + "): " + what;
+        // First violation wins the bundle: the flight ring still holds the
+        // records leading up to it, and later violations are usually
+        // knock-on effects of the same root cause.
+        if (!config_.postmortem_path.empty()) {
+            result.postmortem_written = export_postmortem(
+                config_.postmortem_path,
+                "invariant violation: " + what, op);
+        }
     }
 }
 

@@ -21,6 +21,7 @@
 #include "hw/machine.h"
 #include "kernel/process.h"
 #include "sim/fault.h"
+#include "telemetry/flightrec.h"
 #include "vdom/api.h"
 
 namespace vdom::sim {
@@ -36,6 +37,11 @@ struct ChaosConfig {
     std::uint64_t seed = 1;
     /// Sites to arm (fault decisions draw from a plan seeded with `seed`).
     std::vector<std::pair<FaultSite, FaultSpec>> faults;
+    /// Flight-recorder budget per core ring (0 disables the recorder).
+    std::size_t flight_per_core = 1024;
+    /// When non-empty, the first invariant violation dumps a post-mortem
+    /// bundle (telemetry/postmortem.h) to this path.
+    std::string postmortem_path;
 };
 
 /// Outcome of one chaos run.
@@ -50,6 +56,9 @@ struct ChaosResult {
     std::uint64_t invariant_checks = 0;
     std::uint64_t violations = 0;
     std::string first_violation;  ///< Empty when every check held.
+    std::uint64_t flight_records = 0;  ///< Flight records seen by the run.
+    std::uint64_t flows = 0;           ///< Causality ids handed out.
+    bool postmortem_written = false;   ///< A violation bundle was dumped.
     hw::CycleBreakdown breakdown;
     hw::Cycles max_clock = 0;
 
@@ -73,6 +82,13 @@ class ChaosHarness {
     kernel::Process &process() { return *proc_; }
     VdomSystem &system() { return *sys_; }
     const FaultPlan &plan() const { return plan_; }
+    const telemetry::FlightRecorder &flight() const { return flight_; }
+
+    /// Dumps a post-mortem bundle of the harness's current state (flight
+    /// ring, introspect snapshot, attached metrics, fault plan) to \p path.
+    /// Used for the forced terminal snapshot as well as violation bundles.
+    bool export_postmortem(const std::string &path, const std::string &reason,
+                           int op = -1) const;
 
   private:
     /// vdom_alloc + mmap + vdom_mprotect; false when the assignment was
@@ -90,6 +106,7 @@ class ChaosHarness {
     std::unique_ptr<kernel::Process> proc_;
     std::unique_ptr<VdomSystem> sys_;
     FaultPlan plan_;
+    telemetry::FlightRecorder flight_;
     std::vector<kernel::Task *> tasks_;
     std::vector<std::pair<VdomId, hw::Vpn>> doms_;
 };

@@ -101,6 +101,9 @@ class FaultPlan {
 
     bool armed(FaultSite site) const { return state(site).armed; }
 
+    /// The trigger spec last armed for \p site (meaningful while armed).
+    const FaultSpec &spec(FaultSite site) const { return state(site).spec; }
+
     /// Decides whether the current occurrence of \p site fires.  Called
     /// from the injection sites via `fault_fires`; bumps
     /// telemetry::Metric::kFaultsInjected on fire.

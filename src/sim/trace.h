@@ -7,16 +7,23 @@
 /// events through the global hook.  Intended uses: post-mortem analysis in
 /// tests ("exactly one migration happened, from VDS 0 to VDS 1"), and
 /// human-readable dumps when debugging workload models.
+///
+/// Storage is a fixed-capacity flat ring (telemetry/flat_ring.h), the
+/// PR-5 layout convention shared with the causal flight recorder.  Every
+/// trace() additionally forwards into the flight recorder's unified
+/// timeline when one is attached (telemetry/flightrec.h), so typed events
+/// interleave with span boundaries and shootdown flows in program order.
 
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "hw/arch.h"
+#include "telemetry/flat_ring.h"
+#include "telemetry/flightrec.h"
 #include "vdom/types.h"
 
 namespace vdom::sim {
@@ -36,6 +43,28 @@ enum class TraceEvent : std::uint8_t {
 /// Returns a short label for \p event.
 const char *trace_event_name(TraceEvent event);
 
+/// The flight-recorder kind mirroring \p event (the two enums share
+/// labels; the mapping is pinned by tests/test_flightrec.cc).
+constexpr telemetry::FlightEvent
+flight_event_of(TraceEvent event)
+{
+    switch (event) {
+      case TraceEvent::kMapFree: return telemetry::FlightEvent::kMapFree;
+      case TraceEvent::kEvict: return telemetry::FlightEvent::kEvict;
+      case TraceEvent::kVdsSwitch:
+        return telemetry::FlightEvent::kVdsSwitch;
+      case TraceEvent::kMigration:
+        return telemetry::FlightEvent::kMigration;
+      case TraceEvent::kVdsCreate:
+        return telemetry::FlightEvent::kVdsCreate;
+      case TraceEvent::kFault: return telemetry::FlightEvent::kFault;
+      case TraceEvent::kSigsegv: return telemetry::FlightEvent::kSigsegv;
+      case TraceEvent::kShootdown:
+        return telemetry::FlightEvent::kShootdown;
+    }
+    return telemetry::FlightEvent::kSpanInstant;
+}
+
 /// One trace record.
 struct TraceRecord {
     TraceEvent event;
@@ -44,27 +73,27 @@ struct TraceRecord {
     VdomId vdom = kInvalidVdom; ///< Subject vdom (kInvalidVdom = n/a).
     std::uint32_t vds_from = 0; ///< Source VDS id.
     std::uint32_t vds_to = 0;   ///< Destination VDS id (same = n/a).
+    std::uint32_t core = 0;     ///< Core the event executed on.
 };
 
 /// Bounded ring of trace records.  Capacity 0 retains nothing (events are
 /// still counted in total()).
 class Tracer {
   public:
-    explicit Tracer(std::size_t capacity = 4096) : capacity_(capacity) {}
+    explicit Tracer(std::size_t capacity = 4096) : records_(capacity) {}
 
     void
     record(const TraceRecord &rec)
     {
         ++total_;
-        if (capacity_ == 0)
-            return;
-        if (records_.size() >= capacity_)
-            records_.pop_front();
-        records_.push_back(rec);
+        records_.push(rec);
     }
 
     /// Events currently retained (oldest first).
-    const std::deque<TraceRecord> &records() const { return records_; }
+    const telemetry::FlatRing<TraceRecord> &records() const
+    {
+        return records_;
+    }
 
     /// Total events ever recorded (including dropped ones).
     std::uint64_t total() const { return total_; }
@@ -105,8 +134,7 @@ class Tracer {
     static std::string format(const TraceRecord &rec);
 
   private:
-    std::size_t capacity_;
-    std::deque<TraceRecord> records_;
+    telemetry::FlatRing<TraceRecord> records_;
     std::uint64_t total_ = 0;
 };
 
@@ -129,12 +157,21 @@ set_trace_sink(Tracer *tracer)
     detail::g_trace_sink = tracer;
 }
 
-/// Emits \p rec if a sink is attached.
+/// Emits \p rec to the attached tracer (if any) and mirrors it into the
+/// flight recorder's unified timeline (if one is attached).
 inline void
 trace(const TraceRecord &rec)
 {
     if (Tracer *sink = trace_sink())
         sink->record(rec);
+    if (telemetry::FlightRecorder *flight = telemetry::flight_sink()) {
+        flight->record({flight_event_of(rec.event), rec.core, rec.tid,
+                        static_cast<std::uint64_t>(rec.when), 0,
+                        rec.vdom == kInvalidVdom ? 0 : rec.vdom,
+                        (static_cast<std::uint64_t>(rec.vds_from) << 32) |
+                            rec.vds_to,
+                        nullptr});
+    }
 }
 
 /// RAII attachment of a tracer (restores the previous sink).

@@ -1,0 +1,83 @@
+/// \file
+/// Flight recorder implementation.
+
+#include "telemetry/flightrec.h"
+
+#include <algorithm>
+
+namespace vdom::telemetry {
+
+namespace detail {
+FlightRecorder *g_flight_sink = nullptr;
+}  // namespace detail
+
+const char *
+flight_event_name(FlightEvent event)
+{
+    switch (event) {
+      case FlightEvent::kSpanBegin: return "span_begin";
+      case FlightEvent::kSpanEnd: return "span_end";
+      case FlightEvent::kSpanInstant: return "span_instant";
+      case FlightEvent::kMapFree: return "map_free";
+      case FlightEvent::kEvict: return "evict";
+      case FlightEvent::kVdsSwitch: return "vds_switch";
+      case FlightEvent::kMigration: return "migration";
+      case FlightEvent::kVdsCreate: return "vds_create";
+      case FlightEvent::kFault: return "fault";
+      case FlightEvent::kSigsegv: return "sigsegv";
+      case FlightEvent::kShootdown: return "shootdown";
+      case FlightEvent::kShootdownIssue: return "shootdown_issue";
+      case FlightEvent::kIpiReceive: return "ipi_receive";
+      case FlightEvent::kIpiRetry: return "ipi_retry";
+      case FlightEvent::kRemoteFlush: return "remote_flush";
+      case FlightEvent::kAsidRollover: return "asid_rollover";
+      case FlightEvent::kAsidRecycle: return "asid_recycle";
+      case FlightEvent::kFlushAll: return "flush_all";
+      case FlightEvent::kVdomInstall: return "vdom_install";
+      case FlightEvent::kVdomEvict: return "vdom_evict";
+      case FlightEvent::kFaultInjected: return "fault_injected";
+      case FlightEvent::kNumEvents: break;
+    }
+    return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t cores, std::size_t per_core)
+    : per_core_(per_core)
+{
+    if (cores == 0)
+        cores = 1;
+    rings_.reserve(cores);
+    for (std::size_t c = 0; c < cores; ++c)
+        rings_.emplace_back(per_core);
+}
+
+std::vector<FlightRecord>
+FlightRecorder::merged() const
+{
+    std::vector<FlightRecord> out;
+    std::size_t n = 0;
+    for (const auto &ring : rings_)
+        n += ring.size();
+    out.reserve(n);
+    for (const auto &ring : rings_)
+        for (const FlightRecord &rec : ring)
+            out.push_back(rec);
+    std::sort(out.begin(), out.end(),
+              [](const FlightRecord &x, const FlightRecord &y) {
+                  return x.seq < y.seq;
+              });
+    return out;
+}
+
+void
+FlightRecorder::clear()
+{
+    for (auto &ring : rings_)
+        ring.clear();
+    next_seq_ = 1;
+    last_flow_ = 0;
+    total_ = 0;
+    dropped_ = 0;
+}
+
+}  // namespace vdom::telemetry

@@ -80,6 +80,9 @@ enum class Metric : std::uint16_t {
     kWrvdrLatency,
     kShootdownLatency,
     kFaultLatency,
+    // Cross-core shootdown flow shape (flight recorder, PR 6).
+    kShootdownFanout,      ///< IPI targets per shootdown.
+    kShootdownE2eLatency,  ///< Issue -> last remote flush completion.
     kNumMetrics,
 };
 
@@ -130,6 +133,8 @@ constexpr std::array<MetricDef, kNumWellKnownMetrics> kMetricDefs = {{
     {"api.wrvdr_cycles", MetricKind::kHistogram},
     {"shootdown.latency_cycles", MetricKind::kHistogram},
     {"api.fault_cycles", MetricKind::kHistogram},
+    {"shootdown.fanout_targets", MetricKind::kHistogram},
+    {"shootdown.e2e_cycles", MetricKind::kHistogram},
 }};
 
 /// Returns the registry name of a well-known metric.

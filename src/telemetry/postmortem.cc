@@ -1,0 +1,156 @@
+/// \file
+/// Post-mortem bundle writer implementation.
+
+#include "telemetry/postmortem.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/fault.h"
+#include "telemetry/flightrec.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "vdom/introspect.h"
+
+namespace vdom::telemetry {
+
+namespace {
+
+void
+write_flight_section(JsonWriter &w, const FlightRecorder &flight,
+                     std::size_t last_n)
+{
+    std::vector<FlightRecord> records = flight.merged();
+    std::size_t first = 0;
+    if (last_n != 0 && records.size() > last_n)
+        first = records.size() - last_n;
+
+    w.key("flight").begin_object();
+    w.key("cores").value(static_cast<std::uint64_t>(flight.num_cores()));
+    w.key("per_core_capacity")
+        .value(static_cast<std::uint64_t>(flight.per_core_capacity()));
+    w.key("total").value(flight.total());
+    w.key("dropped").value(flight.dropped());
+    w.key("last_flow").value(flight.last_flow());
+    w.key("omitted").value(static_cast<std::uint64_t>(first));
+    w.key("records").begin_array();
+    for (std::size_t i = first; i < records.size(); ++i) {
+        const FlightRecord &r = records[i];
+        w.begin_object();
+        w.key("seq").value(r.seq);
+        w.key("kind").value(flight_event_name(r.kind));
+        w.key("ts").value(r.ts);
+        w.key("core").value(std::uint64_t{r.core});
+        w.key("tid").value(std::uint64_t{r.tid});
+        w.key("flow").value(r.flow);
+        w.key("a").value(r.a);
+        w.key("b").value(r.b);
+        if (r.name)
+            w.key("name").value(r.name);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+void
+write_introspect_section(JsonWriter &w, VdomSystem &sys)
+{
+    IntrospectSummary s = summarize(sys);
+    w.key("introspect").begin_object();
+    w.key("summary").begin_object();
+    w.key("vdses").value(static_cast<std::uint64_t>(s.vdses));
+    w.key("live_vdoms").value(static_cast<std::uint64_t>(s.live_vdoms));
+    w.key("mapped_slots").value(static_cast<std::uint64_t>(s.mapped_slots));
+    w.key("free_slots").value(static_cast<std::uint64_t>(s.free_slots));
+    w.key("resident_threads")
+        .value(static_cast<std::uint64_t>(s.resident_threads));
+    w.key("protected_pages").value(s.protected_pages);
+    w.key("vdt_leaves").value(static_cast<std::uint64_t>(s.vdt_leaves));
+    w.end_object();
+    std::ostringstream report;
+    dump_state(sys, report);
+    w.key("report").value(report.str());
+    w.end_object();
+}
+
+void
+write_metrics_section(JsonWriter &w, const MetricsRegistry &metrics)
+{
+    w.key("metrics").begin_object();
+    for (const MetricsRegistry::Sample &s : metrics.snapshot())
+        w.key(s.name).value(s.value);
+    w.end_object();
+}
+
+void
+write_fault_plan_section(JsonWriter &w, const sim::FaultPlan &plan)
+{
+    w.key("fault_plan").begin_object();
+    w.key("total_fires").value(plan.total_fires());
+    w.key("sites").begin_array();
+    for (std::size_t s = 0; s < sim::kNumFaultSites; ++s) {
+        auto site = static_cast<sim::FaultSite>(s);
+        w.begin_object();
+        w.key("site").value(sim::fault_site_name(site));
+        w.key("armed").value(plan.armed(site));
+        w.key("occurrences").value(plan.occurrences(site));
+        w.key("fires").value(plan.fires(site));
+        if (plan.armed(site)) {
+            const sim::FaultSpec &spec = plan.spec(site);
+            w.key("probability").value(spec.probability);
+            w.key("every").value(spec.every);
+            w.key("skip").value(spec.skip);
+            w.key("max_fires").value(spec.max_fires);
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+}  // namespace
+
+void
+write_postmortem(std::ostream &out, const PostmortemInfo &info)
+{
+    JsonWriter w(out);
+    w.begin_object();
+    w.key("bundle").value("vdom_postmortem");
+    w.key("version").value(kPostmortemVersion);
+    w.key("reason").value(info.reason);
+    w.key("context").begin_object();
+    for (const auto &[key, value] : info.context)
+        w.key(key).value(value);
+    w.end_object();
+    if (info.flight)
+        write_flight_section(w, *info.flight, info.last_n);
+    if (info.system)
+        write_introspect_section(w, *info.system);
+    if (info.metrics)
+        write_metrics_section(w, *info.metrics);
+    if (info.plan)
+        write_fault_plan_section(w, *info.plan);
+    w.end_object();
+    out << "\n";
+}
+
+std::string
+postmortem_json(const PostmortemInfo &info)
+{
+    std::ostringstream out;
+    write_postmortem(out, info);
+    return out.str();
+}
+
+bool
+export_postmortem(const std::string &path, const PostmortemInfo &info)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    write_postmortem(out, info);
+    return true;
+}
+
+}  // namespace vdom::telemetry

@@ -1,0 +1,75 @@
+/// \file
+/// Post-mortem crash bundles: one deterministic, schema-checked JSON
+/// document capturing everything needed to understand a dead run.
+///
+/// When a run hits a terminal condition — a chaos-harness invariant
+/// violation, retry exhaustion, any non-OK terminal status — the bundle
+/// writer dumps, in one document: the last-N flight-recorder records (the
+/// causal timeline that led here), the vdom/introspect snapshot (live
+/// kernel state), a metrics snapshot, and the active FaultPlan state
+/// (which sites were armed, how often each fired).  Everything in the
+/// bundle derives from the seeded simulation, so same-seed runs produce
+/// byte-identical bundles — run_all.sh diffs two runs to prove it, and
+/// scripts/vdom_inspect.py renders a bundle into a human-readable report
+/// and a Perfetto-loadable trace.
+///
+/// The schema (validated by scripts/check_bench_json.py --bundle):
+///     {bundle: "vdom_postmortem", version, reason, context{...},
+///      flight{cores, per_core_capacity, total, dropped, last_flow,
+///             records[...]},
+///      introspect{summary{...}, report},
+///      metrics{...}, fault_plan{total_fires, sites[...]}}
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vdom {
+
+class VdomSystem;
+
+namespace sim {
+class FaultPlan;
+}  // namespace sim
+
+namespace telemetry {
+
+class FlightRecorder;
+class MetricsRegistry;
+
+/// Everything a bundle can capture.  Null members are omitted from the
+/// document (the schema marks them optional), so callers include exactly
+/// what the dying run had attached.
+struct PostmortemInfo {
+    /// Why the bundle was written (invariant text, status name, ...).
+    std::string reason;
+    /// Free-form key/value context (arch, seed, op index, ...), emitted
+    /// in insertion order — keep it deterministic.
+    std::vector<std::pair<std::string, std::string>> context;
+    const FlightRecorder *flight = nullptr;
+    const MetricsRegistry *metrics = nullptr;
+    const sim::FaultPlan *plan = nullptr;
+    VdomSystem *system = nullptr;  ///< Introspect snapshot source.
+    /// Flight records to retain (newest last); 0 keeps everything.
+    std::size_t last_n = 256;
+};
+
+/// Current bundle schema version.
+constexpr int kPostmortemVersion = 1;
+
+/// Writes the bundle document to \p out.
+void write_postmortem(std::ostream &out, const PostmortemInfo &info);
+
+/// Convenience: the same document as a string.
+std::string postmortem_json(const PostmortemInfo &info);
+
+/// Writes the bundle to \p path; returns false when the file cannot be
+/// opened.
+bool export_postmortem(const std::string &path, const PostmortemInfo &info);
+
+}  // namespace telemetry
+}  // namespace vdom

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "telemetry/flightrec.h"
+
 namespace vdom::telemetry {
 
 /// One span event.  Names and categories must be string literals (or
@@ -155,6 +157,7 @@ span_begin(const char *name, std::uint64_t ts, std::uint32_t core,
 {
     if (SpanTracer *sink = span_sink())
         sink->begin(name, ts, core, tid, category);
+    flight_record({FlightEvent::kSpanBegin, core, tid, ts, 0, 0, 0, name});
 }
 
 inline void
@@ -163,6 +166,7 @@ span_end(const char *name, std::uint64_t ts, std::uint32_t core,
 {
     if (SpanTracer *sink = span_sink())
         sink->end(name, ts, core, tid, category);
+    flight_record({FlightEvent::kSpanEnd, core, tid, ts, 0, 0, 0, name});
 }
 
 inline void
@@ -171,6 +175,7 @@ span_instant(const char *name, std::uint64_t ts, std::uint32_t core,
 {
     if (SpanTracer *sink = span_sink())
         sink->instant(name, ts, core, tid, category);
+    flight_record({FlightEvent::kSpanInstant, core, tid, ts, 0, 0, 0, name});
 }
 
 /// RAII attachment of a span tracer (restores the previous sink).

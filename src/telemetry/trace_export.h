@@ -14,6 +14,7 @@
 
 namespace vdom::telemetry {
 
+class FlightRecorder;
 class MetricsRegistry;
 class SpanTracer;
 
@@ -30,6 +31,25 @@ std::string chrome_trace_json(const SpanTracer &tracer,
 /// Writes the trace to \p path; returns false when the file cannot be
 /// opened.
 bool export_chrome_trace(const std::string &path, const SpanTracer &tracer,
+                         const MetricsRegistry *metrics = nullptr);
+
+/// Writes \p recorder's unified timeline as Chrome-trace JSON.  Every
+/// flight record becomes an event on its core's process track (span kinds
+/// render as B/E/i, everything else as a thin complete slice), and every
+/// causality flow with two or more records becomes a chain of Chrome-trace
+/// flow events (ph "s"/"t"/"f" sharing the flow id), which Perfetto
+/// renders as issuer->receiver arrows across core tracks.
+void write_flight_trace(std::ostream &out, const FlightRecorder &recorder,
+                        const MetricsRegistry *metrics = nullptr);
+
+/// Convenience: the same document as a string.
+std::string flight_trace_json(const FlightRecorder &recorder,
+                              const MetricsRegistry *metrics = nullptr);
+
+/// Writes the flight trace to \p path; returns false when the file cannot
+/// be opened.
+bool export_flight_trace(const std::string &path,
+                         const FlightRecorder &recorder,
                          const MetricsRegistry *metrics = nullptr);
 
 }  // namespace vdom::telemetry

@@ -5,6 +5,7 @@
 
 #include "sim/fault.h"
 #include "sim/trace.h"
+#include "telemetry/flightrec.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
 
@@ -159,8 +160,15 @@ VdomSystem::vdr_alloc(hw::Core &core, kernel::Task &task, std::size_t nas)
     core.charge(hw::CostKind::kSyscall, core.costs().syscall);
     // Injected VDR slot exhaustion: the kernel entry was paid but no VDR
     // exists afterwards — the thread can retry once slots free up.
-    if (sim::fault_fires(sim::FaultSite::kVdrExhausted))
+    if (sim::fault_fires(sim::FaultSite::kVdrExhausted)) {
+        tm::flight_record(
+            {tm::FlightEvent::kFaultInjected,
+             static_cast<std::uint32_t>(core.id()), task.tid(),
+             static_cast<std::uint64_t>(core.now()), 0,
+             static_cast<std::uint64_t>(sim::FaultSite::kVdrExhausted), 0,
+             sim::fault_site_name(sim::FaultSite::kVdrExhausted)});
         return VdomStatus::kResourceExhausted;
+    }
     task.alloc_vdr(nas == 0 ? 1 : nas);
     task.add_owned(task.vds());
     return VdomStatus::kOk;
@@ -242,6 +250,12 @@ VdomSystem::wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
     if (mode == ApiMode::kSecure &&
         sim::fault_fires(sim::FaultSite::kGateEntryDenied)) {
         core.charge(hw::CostKind::kApi, costs.api_call);
+        tm::flight_record(
+            {tm::FlightEvent::kFaultInjected,
+             static_cast<std::uint32_t>(core.id()), task.tid(),
+             static_cast<std::uint64_t>(core.now()), 0,
+             static_cast<std::uint64_t>(sim::FaultSite::kGateEntryDenied),
+             vdom, sim::fault_site_name(sim::FaultSite::kGateEntryDenied)});
         return VdomStatus::kTransientFault;
     }
     charge_api_entry(core, mode);
@@ -257,6 +271,13 @@ VdomSystem::wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
     // gives up before touching the VDR, so no state diverges.
     for (int retry = 1; sim::fault_fires(sim::FaultSite::kPermRegWriteFail);
          ++retry) {
+        tm::flight_record(
+            {tm::FlightEvent::kFaultInjected,
+             static_cast<std::uint32_t>(core.id()), task.tid(),
+             static_cast<std::uint64_t>(core.now()), 0,
+             static_cast<std::uint64_t>(sim::FaultSite::kPermRegWriteFail),
+             static_cast<std::uint64_t>(retry),
+             sim::fault_site_name(sim::FaultSite::kPermRegWriteFail)});
         if (retry > kMaxPermRegRetries)
             return VdomStatus::kRetriesExhausted;
         core.charge(hw::CostKind::kPermReg, costs.perm_reg_write);
@@ -361,7 +382,8 @@ VdomSystem::access(hw::Core &core, kernel::Task &task, hw::Vpn vpn,
         core.charge(hw::CostKind::kFault, costs.fault_entry);
         VdomId vdom = mm.vdom_of(vpn);
         sim::trace({sim::TraceEvent::kFault, core.now(), task.tid(), vdom,
-                    task.vds()->id(), task.vds()->id()});
+                    task.vds()->id(), task.vds()->id(),
+                    static_cast<std::uint32_t>(core.id())});
 
         // §6.2: the kernel identifies the vdom via the VMA's extended
         // vm_flags and inspects the per-thread VDR; violations SIGSEGV.
@@ -385,7 +407,8 @@ VdomSystem::access(hw::Core &core, kernel::Task &task, hw::Vpn vpn,
             ++stats_.sigsegv;
             tm::metric_add(tm::Metric::kSigsegv, 1, core.id());
             sim::trace({sim::TraceEvent::kSigsegv, core.now(), task.tid(),
-                        vdom, task.vds()->id(), task.vds()->id()});
+                        vdom, task.vds()->id(), task.vds()->id(),
+                        static_cast<std::uint32_t>(core.id())});
             return VAccess{false, true, 0};
         }
 

@@ -35,7 +35,8 @@ DomainVirtualizer::ensure_mapped_slow(hw::Core &core, kernel::Task &task,
             ++stats_.vds_switches;
             tm::metric_add(tm::Metric::kVdsSwitch, 1, core.id());
             sim::trace({sim::TraceEvent::kVdsSwitch, core.now(),
-                        task.tid(), vdom, cur.id(), owned->id()});
+                        task.tid(), vdom, cur.id(), owned->id(),
+                        static_cast<std::uint32_t>(core.id())});
             return owned->pdom_of(vdom);
         }
     }
@@ -48,7 +49,8 @@ DomainVirtualizer::ensure_mapped_slow(hw::Core &core, kernel::Task &task,
         ++stats_.maps_free;
         tm::metric_add(tm::Metric::kDomainMapFree, 1, core.id());
         sim::trace({sim::TraceEvent::kMapFree, core.now(), task.tid(),
-                    vdom, cur.id(), cur.id()});
+                    vdom, cur.id(), cur.id(),
+                    static_cast<std::uint32_t>(core.id())});
         return free;
     }
     // ❹ Thread alone in its VDS -> ❺ VDS switch or eviction.
@@ -75,7 +77,8 @@ DomainVirtualizer::ensure_mapped_slow(hw::Core &core, kernel::Task &task,
     ++stats_.vds_allocs;
     tm::metric_add(tm::Metric::kVdsAlloc, 1, core.id());
     sim::trace({sim::TraceEvent::kVdsCreate, core.now(), task.tid(), vdom,
-                cur.id(), fresh->id()});
+                cur.id(), fresh->id(),
+                static_cast<std::uint32_t>(core.id())});
     return migrate(core, task, *fresh, vdom);
 }
 
@@ -127,7 +130,8 @@ DomainVirtualizer::switch_or_evict(hw::Core &core, kernel::Task &task,
                 ++stats_.vds_switches;
                 tm::metric_add(tm::Metric::kVdsSwitch, 1, core.id());
                 sim::trace({sim::TraceEvent::kVdsSwitch, core.now(),
-                            task.tid(), vdom, cur.id(), owned->id()});
+                            task.tid(), vdom, cur.id(), owned->id(),
+                            static_cast<std::uint32_t>(core.id())});
                 return owned->pdom_of(vdom);
             }
         }
@@ -140,7 +144,8 @@ DomainVirtualizer::switch_or_evict(hw::Core &core, kernel::Task &task,
             ++stats_.vds_allocs;
             tm::metric_add(tm::Metric::kVdsAlloc, 1, core.id());
             sim::trace({sim::TraceEvent::kVdsCreate, core.now(),
-                        task.tid(), vdom, cur.id(), fresh->id()});
+                        task.tid(), vdom, cur.id(), fresh->id(),
+                        static_cast<std::uint32_t>(core.id())});
             task.add_owned(fresh);
             proc_->switch_vds(core, task, *fresh, hw::CostKind::kPgdSwitch);
             ++stats_.vds_switches;
@@ -166,7 +171,8 @@ DomainVirtualizer::migrate(hw::Core &core, kernel::Task &task,
     ++stats_.migrations;
     tm::metric_add(tm::Metric::kMigration, 1, core.id());
     sim::trace({sim::TraceEvent::kMigration, core.now(), task.tid(), vdom,
-                cur.id(), target.id()});
+                cur.id(), target.id(),
+                static_cast<std::uint32_t>(core.id())});
 
     // Map T's active set plus D into the target (Fig. 3 right: vdom4, 14,
     // D are mapped to pdom6, 7, 8 of VDS1).
@@ -238,7 +244,8 @@ DomainVirtualizer::evict_and_map(hw::Core &core, kernel::Task &task,
     ++stats_.evictions;
     tm::metric_add(tm::Metric::kHlruEvict, 1, core.id());
     sim::trace({sim::TraceEvent::kEvict, core.now(), task.tid(), victim,
-                vds.id(), vds.id()});
+                vds.id(), vds.id(),
+                static_cast<std::uint32_t>(core.id())});
     // Disable the victim's pages (PMD fast path + minimal TLB flushes are
     // inside, §5.5) and release its pdom.
     mm.evict_vdom_from_vds(core, vds, victim);

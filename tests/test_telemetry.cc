@@ -12,6 +12,7 @@
 #include "hw/cost_kind.h"
 #include "sim/fault.h"
 #include "sim/trace.h"
+#include "telemetry/flightrec.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span.h"
@@ -149,11 +150,15 @@ TEST(MetricNames, WellKnownTableIsComplete)
         auto m = static_cast<Metric>(i);
         ASSERT_NE(metric_name(m), nullptr);
         EXPECT_GT(std::string(metric_name(m)).size(), 0u);
-        // Naming scheme: histograms end in "_cycles".
+        // Naming scheme: histograms end in "_cycles" (latencies) or
+        // "_targets" (fan-out distributions).
         std::string name = metric_name(m);
-        bool cycles_suffix = name.size() > 7 &&
-                             name.substr(name.size() - 7) == "_cycles";
-        EXPECT_EQ(metric_kind(m) == MetricKind::kHistogram, cycles_suffix)
+        auto ends_with = [&name](const std::string &suffix) {
+            return name.size() > suffix.size() &&
+                   name.substr(name.size() - suffix.size()) == suffix;
+        };
+        bool histo_suffix = ends_with("_cycles") || ends_with("_targets");
+        EXPECT_EQ(metric_kind(m) == MetricKind::kHistogram, histo_suffix)
             << name;
     }
 }
@@ -334,24 +339,27 @@ TEST(CycleIdentity, SinksNeverChargeCycles)
     // Plain run, no sinks.
     set_metrics_sink(nullptr);
     set_span_sink(nullptr);
+    set_flight_sink(nullptr);
     sim::set_trace_sink(nullptr);
     sim::set_fault_sink(nullptr);
     auto plain = std::unique_ptr<World>(World::x86(4));
     drive_workload(*plain);
 
-    // Instrumented run: metrics + spans + event trace all attached, plus
-    // an attached-but-unarmed fault plan — injection sites that never fire
-    // must not perturb a single cycle either.
+    // Instrumented run: metrics + spans + event trace + flight recorder
+    // all attached, plus an attached-but-unarmed fault plan — injection
+    // sites that never fire must not perturb a single cycle either.
     auto traced = std::unique_ptr<World>(World::x86(4));
     MetricsRegistry registry(4);
     SpanTracer spans;
     sim::Tracer events;
     sim::FaultPlan unarmed_plan(1);
+    FlightRecorder flight(4);
     {
         ScopedMetrics attach_metrics(registry);
         ScopedSpanTrace attach_spans(spans);
         sim::ScopedTrace attach_events(events);
         sim::ScopedFaults attach_faults(unarmed_plan);
+        ScopedFlightRecorder attach_flight(flight);
         drive_workload(*traced);
     }
     EXPECT_EQ(unarmed_plan.total_fires(), 0u);
@@ -364,6 +372,8 @@ TEST(CycleIdentity, SinksNeverChargeCycles)
     EXPECT_GT(registry.histogram(Metric::kWrvdrLatency).count, 0u);
     EXPECT_GT(spans.events().size(), 0u);
     EXPECT_GT(events.total(), 0u);
+    EXPECT_GT(flight.total(), 0u);
+    EXPECT_GT(flight.last_flow(), 0u);
 
     // ...and charged exactly nothing for it.
     for (std::size_t c = 0; c < 4; ++c)
