@@ -14,7 +14,14 @@
 /// (run_all.sh diffs the bundles too, and scripts/vdom_inspect.py renders
 /// them).
 ///
-/// Usage: chaos_stress [--quick] [--seed N] [--json out.json]
+/// With `--sweep`, the randomized churn is replaced by the systematic
+/// fault-point sweep (sim::SweepHarness): every fault-point crossing of
+/// every scripted public-API op is fired exactly once (and again in
+/// sticky mode), with the snapshot-diff atomicity oracle checking that
+/// failed ops mutated nothing.  The sweep digest lands in the JSON so
+/// run_all.sh can diff two seeded runs.
+///
+/// Usage: chaos_stress [--quick] [--sweep] [--seed N] [--json out.json]
 ///                     [--postmortem bundle.json]
 
 #include <cstdio>
@@ -131,12 +138,91 @@ run_config(BenchReport &report, hw::ArchKind arch, bool armed, int ops,
     return 0;
 }
 
+int
+run_sweep(BenchReport &report, hw::ArchKind arch, bool quick,
+          std::uint64_t seed, const std::string &postmortem)
+{
+    sim::SweepConfig config;
+    config.arch = arch;
+    config.seed = seed;
+    config.churn_ops = quick ? 8 : 24;
+    config.domains = quick ? 3 : 6;
+    config.postmortem_path = postmortem;
+
+    telemetry::MetricsRegistry registry(config.cores);
+    sim::SweepHarness harness(config);
+    sim::SweepResult result;
+    {
+        telemetry::ScopedMetrics attach(registry);
+        result = harness.run();
+    }
+    if (result.postmortem_written)
+        std::fprintf(stderr, "postmortem bundle -> %s\n",
+                     postmortem.c_str());
+
+    std::printf("%-4s sweep ops=%-4llu points=%-5llu runs=%-5llu "
+                "failed=%-5llu degraded=%-5llu rollbacks=%-5llu "
+                "digest=%016llx\n",
+                hw::arch_name(arch),
+                static_cast<unsigned long long>(result.script_ops),
+                static_cast<unsigned long long>(result.fault_points),
+                static_cast<unsigned long long>(result.injected_runs),
+                static_cast<unsigned long long>(result.failed_ops),
+                static_cast<unsigned long long>(result.degraded_ops),
+                static_cast<unsigned long long>(result.rollbacks),
+                static_cast<unsigned long long>(result.digest));
+    if (!result.ok()) {
+        std::fprintf(stderr, "chaos_stress: SWEEP VIOLATION: %s\n",
+                     result.first_violation.c_str());
+        return 1;
+    }
+
+    char digest[17];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  static_cast<unsigned long long>(result.digest));
+    BenchRecord &rec = report.add();
+    rec.config("arch", hw::arch_name(arch))
+        .config("mode", "sweep")
+        .config("cores", static_cast<std::uint64_t>(config.cores))
+        .config("threads", static_cast<std::uint64_t>(config.threads))
+        .config("domains", static_cast<std::uint64_t>(config.domains))
+        .config("churn_ops", static_cast<std::uint64_t>(config.churn_ops))
+        .config("seed", seed)
+        .config("digest", digest);
+    rec.metrics_from(registry)
+        .metric("sweep.script_ops", static_cast<double>(result.script_ops))
+        .metric("sweep.fault_points",
+                static_cast<double>(result.fault_points))
+        .metric("sweep.injected_runs",
+                static_cast<double>(result.injected_runs))
+        .metric("sweep.failed_ops", static_cast<double>(result.failed_ops))
+        .metric("sweep.degraded_ops",
+                static_cast<double>(result.degraded_ops))
+        .metric("sweep.rollbacks", static_cast<double>(result.rollbacks))
+        .metric("sweep.snapshot_checks",
+                static_cast<double>(result.snapshot_checks))
+        .metric("sweep.invariant_checks",
+                static_cast<double>(result.invariant_checks))
+        .metric("sweep.violations", static_cast<double>(result.violations));
+    return 0;
+}
+
+bool
+sweep_mode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--sweep")
+            return true;
+    return false;
+}
+
 }  // namespace
 
 int
 main(int argc, char **argv)
 {
     bool quick = bench::quick_mode(argc, argv);
+    bool sweep = sweep_mode(argc, argv);
     int ops = quick ? 400 : 4000;
     std::string seed_arg = bench::arg_value(argc, argv, "--seed");
     std::uint64_t seed =
@@ -144,15 +230,23 @@ main(int argc, char **argv)
 
     std::string postmortem = bench::arg_value(argc, argv, "--postmortem");
 
-    std::printf("chaos_stress: fault-armed churn (seed %llu)\n",
-                static_cast<unsigned long long>(seed));
     BenchReport report("chaos_stress", argc, argv);
     int rc = 0;
-    for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm}) {
-        rc |= run_config(report, arch, /*armed=*/false, ops, seed,
-                         postmortem, false);
-        rc |= run_config(report, arch, /*armed=*/true, ops, seed,
-                         postmortem, arch == hw::ArchKind::kX86);
+    if (sweep) {
+        std::printf("chaos_stress: systematic fault-point sweep "
+                    "(seed %llu)\n",
+                    static_cast<unsigned long long>(seed));
+        for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm})
+            rc |= run_sweep(report, arch, quick, seed, postmortem);
+    } else {
+        std::printf("chaos_stress: fault-armed churn (seed %llu)\n",
+                    static_cast<unsigned long long>(seed));
+        for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm}) {
+            rc |= run_config(report, arch, /*armed=*/false, ops, seed,
+                             postmortem, false);
+            rc |= run_config(report, arch, /*armed=*/true, ops, seed,
+                             postmortem, arch == hw::ArchKind::kX86);
+        }
     }
     report.write();
     return rc;

@@ -73,6 +73,20 @@ python3 scripts/vdom_inspect.py results/chaos_postmortem.json \
     | tee results/chaos_postmortem.txt > /dev/null
 echo "chaos_stress: bundle schema ok, report + flow trace rendered"
 
+# Fault-point sweep gate: every crossing of every scripted API op fired
+# exactly once (plus sticky replays), with the snapshot-diff atomicity
+# oracle proving failed ops mutated nothing.  Two seeded runs must agree
+# byte-for-byte (the JSON embeds the sweep digest); the bundle path is
+# only written on a violation, so its absence is the passing state.
+echo "== chaos_stress fault-point sweep =="
+./build/bench/chaos_stress --sweep $QUICK --json results/sweep_run1.json \
+    --postmortem results/sweep_postmortem.json | tee results/sweep.txt
+./build/bench/chaos_stress --sweep $QUICK --json results/sweep_run2.json \
+    --postmortem results/sweep_postmortem.json > /dev/null 2>&1
+cmp results/sweep_run1.json results/sweep_run2.json
+rm -f results/sweep_run1.json results/sweep_run2.json
+echo "chaos_stress --sweep: zero violations, two seeded runs byte-identical"
+
 # PR5 perf snapshot: distill the host-time microbenchmarks into one
 # repo-root document (ns/op and derived items/s per case) so the
 # data-structure overhaul's effect is diffable across checkouts.

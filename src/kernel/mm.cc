@@ -37,6 +37,7 @@ MmStruct::union_cpu_bitmap() const
 hw::Vpn
 MmStruct::mmap(std::uint64_t pages, bool huge)
 {
+    hw::Vpn saved_next = next_vpn_;
     std::uint64_t span = params_->pmd_span_pages;
     // 2MB-align both huge mappings and any large region: the §5.5 PMD
     // fast path needs vdom areas to cover whole PMD spans (real mmap also
@@ -49,6 +50,10 @@ MmStruct::mmap(std::uint64_t pages, bool huge)
     // into one vdom accidentally.
     next_vpn_ += 1;
     vmas_.insert(Vma{start, pages, kCommonVdom, huge});
+    journal_.record([this, start, saved_next] {
+        vmas_.erase(start);
+        next_vpn_ = saved_next;
+    });
     return start;
 }
 
@@ -120,17 +125,17 @@ MmStruct::assign_vdom(hw::Core &core, hw::Vpn start, std::uint64_t pages,
         if (vma->vdom != kCommonVdom && vma->vdom != vdom)
             return VdomStatus::kAlreadyAssigned;
     }
-    // Injected VDT allocation failure: reject before any VMA or page
-    // table has been touched, so the caller sees a clean failure.
-    if (sim::fault_fires(sim::FaultSite::kVdtAllocFail)) {
-        telemetry::flight_record(
-            {telemetry::FlightEvent::kFaultInjected,
-             static_cast<std::uint32_t>(core.id()), 0,
-             static_cast<std::uint64_t>(core.now()), 0,
-             static_cast<std::uint64_t>(sim::FaultSite::kVdtAllocFail), vdom,
-             sim::fault_site_name(sim::FaultSite::kVdtAllocFail)});
-        return VdomStatus::kResourceExhausted;
-    }
+    // Validations passed: everything below mutates, so it runs under a
+    // transaction (nests under callers that opened their own).  A VDT
+    // allocation failure mid-range unwinds the areas already assigned.
+    ScopedTxn txn(journal_, core, 0, "assign_vdom");
+    // Rollback must re-invalidate any translation range whose PTEs it
+    // rewrites — recorded first so it runs *after* every retag undo.
+    auto reflush = std::make_shared<bool>(false);
+    journal_.record([this, &core, reflush] {
+        if (*reflush)
+            flush_everywhere(core);
+    });
     // vdom_mprotect protects "pages containing any part within
     // [addr, addr+len-1]" — expand to whole-VMA-clamped page ranges and
     // split VMAs so the protected span is exactly covered.
@@ -140,16 +145,40 @@ MmStruct::assign_vdom(hw::Core &core, hw::Vpn start, std::uint64_t pages,
         hw::Vpn hi = std::min(vma->end(), start + pages);
         hw::Vpn v_start = vma->start;
         std::uint64_t v_pages = vma->pages;
+        VdomId v_vdom = vma->vdom;
         bool v_huge = vma->huge;
         if (vma->vdom == vdom && v_start >= start && vma->end() <= start + pages)
             continue;  // Already fully assigned.
+        // Injected VDT allocation failure: chaining this area's leaf entry
+        // failed.  Fired per area, before the area mutates anything, so a
+        // multi-VMA range can fail mid-loop — the transaction restores the
+        // areas already converted.
+        if (sim::fault_fires(sim::FaultSite::kVdtAllocFail)) {
+            telemetry::flight_record(
+                {telemetry::FlightEvent::kFaultInjected,
+                 static_cast<std::uint32_t>(core.id()), 0,
+                 static_cast<std::uint64_t>(core.now()), 0,
+                 static_cast<std::uint64_t>(sim::FaultSite::kVdtAllocFail),
+                 vdom,
+                 sim::fault_site_name(sim::FaultSite::kVdtAllocFail)});
+            return VdomStatus::kResourceExhausted;
+        }
         vmas_.erase(v_start);
         if (v_start < lo)
             vmas_.insert(Vma{v_start, lo - v_start, kCommonVdom, v_huge});
         vmas_.insert(Vma{lo, hi - lo, vdom, v_huge});
         if (v_start + v_pages > hi)
             vmas_.insert(Vma{hi, v_start + v_pages - hi, kCommonVdom, v_huge});
+        journal_.record([this, v_start, v_pages, v_vdom, v_huge, lo, hi] {
+            if (v_start < lo)
+                vmas_.erase(v_start);
+            vmas_.erase(lo);
+            if (v_start + v_pages > hi)
+                vmas_.erase(hi);
+            vmas_.insert(Vma{v_start, v_pages, v_vdom, v_huge});
+        });
         vdm_.vdt().add_area(vdom, VdtArea{lo, hi - lo, v_huge});
+        journal_.record([this, vdom] { vdm_.vdt().pop_area(vdom); });
         // Eager revocation across every VDS (§6.2): present pages lose
         // their default-pdom tag right away.
         for (auto &vds : vdses_) {
@@ -160,6 +189,21 @@ MmStruct::assign_vdom(hw::Core &core, hw::Vpn start, std::uint64_t pages,
                 vds->pgd().set_pdom_range(lo, hi - lo, tag, false);
             total_ops += ops;
             charge_pt_ops(core, ops, hw::CostKind::kMemSync);
+            if (ops.pte_writes + ops.pmd_writes > 0) {
+                // Pages of a kCommonVdom VMA were tagged default before
+                // the retag; same-vdom re-assigns rewrite the same tag.
+                hw::Pdom old_tag =
+                    v_vdom == kCommonVdom ? params_->default_pdom : tag;
+                Vds *vp = vds.get();
+                std::uint64_t n = hi - lo;
+                journal_.record([this, &core, vp, lo, n, old_tag, reflush] {
+                    hw::PtOps undo =
+                        vp->pgd().set_pdom_range(lo, n, old_tag, false);
+                    charge_pt_ops(core, undo, hw::CostKind::kMemSync);
+                    if (undo.pte_writes + undo.pmd_writes > 0)
+                        *reflush = true;
+                });
+            }
         }
     }
     // Fresh, never-faulted pages have no live translations anywhere: the
@@ -167,6 +211,7 @@ MmStruct::assign_vdom(hw::Core &core, hw::Vpn start, std::uint64_t pages,
     // common case for httpd's per-request key domains skips it).
     if (total_ops.pte_writes + total_ops.pmd_writes > 0)
         flush_everywhere(core);
+    txn.commit();
     return VdomStatus::kOk;
 }
 

@@ -19,6 +19,7 @@
 #include "hw/arch.h"
 #include "hw/core.h"
 #include "hw/page_table.h"
+#include "kernel/journal.h"
 #include "kernel/shootdown.h"
 #include "kernel/vdm.h"
 #include "kernel/vds.h"
@@ -36,6 +37,10 @@ class MmStruct {
 
     Vdm &vdm() { return vdm_; }
     const Vdm &vdm() const { return vdm_; }
+
+    /// The process-wide undo log (kernel/journal.h).  Ops open a
+    /// ScopedTxn on it; mutators below record inverses when it is active.
+    Journal &journal() { return journal_; }
     VmaTree &vmas() { return vmas_; }
     const VmaTree &vmas() const { return vmas_; }
     hw::PageTable &shadow() { return shadow_; }
@@ -120,6 +125,7 @@ class MmStruct {
 
     const hw::ArchParams *params_;
     ShootdownManager *shootdown_;
+    Journal journal_;
     Vdm vdm_;
     VmaTree vmas_;
     hw::PageTable shadow_;

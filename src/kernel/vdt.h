@@ -39,6 +39,20 @@ class Vdt {
         leaf_for(vdom, true)->chains[vdom & (kLeafSize - 1)].push_back(area);
     }
 
+    /// Removes the most recently chained area of \p vdom (transaction
+    /// rollback).  remove_range would be wrong here: re-assigning a range
+    /// to the same vdom chains a duplicate area, and trimming by range
+    /// would eat the original too.
+    void
+    pop_area(VdomId vdom)
+    {
+        if (Leaf *leaf = leaf_for(vdom, false)) {
+            auto &chain = leaf->chains[vdom & (kLeafSize - 1)];
+            if (!chain.empty())
+                chain.pop_back();
+        }
+    }
+
     /// Removes all areas of \p vdom (vdom_free).
     void
     clear(VdomId vdom)

@@ -6,9 +6,11 @@
 #include <algorithm>
 #include <optional>
 
+#include "kernel/asid.h"
 #include "sim/rng.h"
 #include "telemetry/metrics.h"
 #include "telemetry/postmortem.h"
+#include "vdom/introspect.h"
 
 namespace vdom::sim {
 
@@ -21,6 +23,44 @@ is_fault_status(VdomStatus st)
     return st == VdomStatus::kTransientFault ||
            st == VdomStatus::kRetriesExhausted ||
            st == VdomStatus::kResourceExhausted;
+}
+
+/// The DESIGN.md structural invariants both harnesses enforce after every
+/// op: each VDS domain map internally consistent (invariant 3), reserved
+/// pdoms and the API vdom never mapped (invariant 7), freed vdoms gone
+/// from every map.  Returns the first breach, empty when all hold;
+/// \p checks counts one check per VDS examined.
+std::string
+check_design_invariants(kernel::Process &proc, const hw::ArchParams &params,
+                        std::uint64_t *checks)
+{
+    const kernel::MmStruct &mm = proc.mm();
+    for (const auto &vds : mm.vdses()) {
+        if (checks)
+            ++*checks;
+        if (!vds->check_consistency())
+            return "vds " + std::to_string(vds->id()) +
+                   " domain map inconsistent";
+        for (auto [pdom, vdomid] : vds->mapped_pairs()) {
+            if (pdom < params.num_reserved_pdoms || vdomid == kApiVdom)
+                return "reserved domain mapped";
+            if (!mm.vdm().is_allocated(vdomid))
+                return "freed vdom " + std::to_string(vdomid) +
+                       " still mapped";
+        }
+    }
+    return {};
+}
+
+/// Sites worth replaying in sticky mode.  The two pure-delay sites are
+/// exempt: kPteWriteDelay only adds latency, and a sticky kTlbEntryDrop
+/// would drop every re-filled entry — unbounded re-walks with no new
+/// architectural outcome.
+bool
+sticky_swept(FaultSite site)
+{
+    return site != FaultSite::kTlbEntryDrop &&
+           site != FaultSite::kPteWriteDelay;
 }
 
 }  // namespace
@@ -248,32 +288,10 @@ ChaosHarness::export_postmortem(const std::string &path,
 void
 ChaosHarness::check_invariants(ChaosResult &result, int op)
 {
-    const kernel::MmStruct &mm = proc_->mm();
-    for (const auto &vds : mm.vdses()) {
-        ++result.invariant_checks;
-        // Invariant 3: every VDS domain map internally consistent.
-        if (!vds->check_consistency()) {
-            record_violation(result, op,
-                             "vds " + std::to_string(vds->id()) +
-                                 " domain map inconsistent");
-            continue;
-        }
-        for (auto [pdom, vdomid] : vds->mapped_pairs()) {
-            // Invariant 7: reserved pdoms / the API vdom never appear.
-            if (pdom < params_.num_reserved_pdoms ||
-                vdomid == kApiVdom) {
-                record_violation(result, op, "reserved domain mapped");
-                break;
-            }
-            // Freed vdoms must not linger in any domain map.
-            if (!mm.vdm().is_allocated(vdomid)) {
-                record_violation(result, op,
-                                 "freed vdom " + std::to_string(vdomid) +
-                                     " still mapped");
-                break;
-            }
-        }
-    }
+    std::string bad = check_design_invariants(*proc_, params_,
+                                              &result.invariant_checks);
+    if (!bad.empty())
+        record_violation(result, op, bad);
 }
 
 void
@@ -294,6 +312,434 @@ ChaosHarness::record_violation(ChaosResult &result, int op,
                 "invariant violation: " + what, op);
         }
     }
+}
+
+// --- SweepHarness --------------------------------------------------------
+
+/// One scripted public-API operation.  Domain/region fields index the
+/// World's append-only `doms`/`regions` vectors, which replay identically
+/// in every fresh world.
+struct SweepHarness::Op {
+    enum class Kind : std::uint8_t {
+        kInit,      ///< vdom_init
+        kVdrAlloc,  ///< vdr_alloc(nas = pages)
+        kVdrFree,   ///< vdr_free
+        kMmap,      ///< mm.mmap(pages) — appends a region
+        kAlloc,     ///< vdom_alloc(frequent) — appends a dom
+        kMprotect,  ///< vdom_mprotect(regions[region], doms[dom])
+        kWrvdr,     ///< wrvdr(doms[dom], perm)
+        kAccess,    ///< access(regions[region], write) + verdict oracle
+        kFreeDom,   ///< vdom_free(doms[dom])
+    };
+
+    Kind kind = Kind::kInit;
+    std::size_t task = 0;    ///< Acting thread (thread-scoped ops).
+    std::size_t dom = 0;     ///< Index into World::doms.
+    std::size_t region = 0;  ///< Index into World::regions.
+    std::uint64_t pages = 0; ///< kMmap page count / kVdrAlloc nas budget.
+    VPerm perm = VPerm::kFullAccess;
+    bool write = false;
+    bool frequent = false;
+    /// kMprotect: one call covering regions[region] through
+    /// regions[region+1] — the multi-VMA range whose mid-loop fault point
+    /// the journal exists to make safe.
+    bool span = false;
+
+    static const char *name(Kind kind);
+};
+
+/// A fresh simulated world; rebuilt from scratch for every injected run so
+/// earlier faults cannot leak state between runs.
+struct SweepHarness::World {
+    hw::ArchParams params;
+    std::unique_ptr<hw::Machine> machine;
+    std::unique_ptr<kernel::Process> proc;
+    std::unique_ptr<VdomSystem> sys;
+    std::vector<kernel::Task *> tasks;
+    std::vector<VdomId> doms;
+    std::vector<std::pair<hw::Vpn, std::uint64_t>> regions;
+};
+
+const char *
+SweepHarness::Op::name(Kind kind)
+{
+    switch (kind) {
+      case Kind::kInit: return "vdom_init";
+      case Kind::kVdrAlloc: return "vdr_alloc";
+      case Kind::kVdrFree: return "vdr_free";
+      case Kind::kMmap: return "mmap";
+      case Kind::kAlloc: return "vdom_alloc";
+      case Kind::kMprotect: return "vdom_mprotect";
+      case Kind::kWrvdr: return "wrvdr";
+      case Kind::kAccess: return "access";
+      case Kind::kFreeDom: return "vdom_free";
+    }
+    return "?";
+}
+
+SweepHarness::SweepHarness(const SweepConfig &config)
+    : config_(config), flight_(config.cores, config.flight_per_core)
+{
+}
+
+SweepHarness::~SweepHarness() = default;
+
+std::unique_ptr<SweepHarness::World>
+SweepHarness::build_world() const
+{
+    // Same-config worlds must be bit-identical, so the global id counters
+    // restart with every rebuild (mirrors tests/test_invariants.cc).
+    kernel::reset_unique_asids();
+    kernel::Vds::reset_ctx_ids();
+    auto w = std::make_unique<World>();
+    w->params = config_.arch == hw::ArchKind::kX86
+                    ? hw::ArchParams::x86(config_.cores)
+                    : hw::ArchParams::arm(config_.cores);
+    w->machine = std::make_unique<hw::Machine>(w->params);
+    w->proc = std::make_unique<kernel::Process>(*w->machine);
+    w->sys = std::make_unique<VdomSystem>(*w->proc);
+    for (std::size_t t = 0; t < config_.threads; ++t)
+        w->tasks.push_back(w->proc->create_task());
+    return w;
+}
+
+std::vector<SweepHarness::Op>
+SweepHarness::make_script() const
+{
+    using Kind = Op::Kind;
+    std::vector<Op> ops;
+    std::size_t d = config_.domains;
+
+    // Deterministic prologue: bring-up plus the shapes the journal must
+    // protect — per-domain single-VMA mprotects, then a spanning mprotect
+    // over two *present* VMAs (its mid-range fault point must undo real
+    // PTE retags), then a second area chained onto an existing vdom.
+    ops.push_back({.kind = Kind::kInit});
+    for (std::size_t t = 0; t < config_.threads; ++t)
+        ops.push_back({.kind = Kind::kVdrAlloc, .task = t,
+                       .pages = 2 + t % 3});
+    for (std::size_t i = 0; i < d; ++i)
+        ops.push_back({.kind = Kind::kAlloc, .frequent = i % 3 == 0});
+    for (std::size_t i = 0; i < d; ++i)
+        ops.push_back({.kind = Kind::kMmap, .pages = 1 + i % 3});
+    for (std::size_t i = 0; i < d; ++i)
+        ops.push_back({.kind = Kind::kMprotect, .dom = i, .region = i});
+    ops.push_back({.kind = Kind::kMmap, .pages = 2});  // regions[d]
+    ops.push_back({.kind = Kind::kMmap, .pages = 3});  // regions[d + 1]
+    // Fault the spanned pages in while still common, so the spanning
+    // mprotect retags present PTEs.
+    ops.push_back({.kind = Kind::kAccess, .task = 0, .region = d,
+                   .write = true});
+    ops.push_back({.kind = Kind::kAccess, .task = 1 % config_.threads,
+                   .region = d + 1});
+    ops.push_back({.kind = Kind::kAlloc});             // doms[d]
+    ops.push_back({.kind = Kind::kMprotect, .dom = d, .region = d,
+                   .span = true});
+    ops.push_back({.kind = Kind::kMmap, .pages = 2});  // regions[d + 2]
+    ops.push_back({.kind = Kind::kMprotect, .dom = 0, .region = d + 2});
+
+    // Seeded churn: grants, revokes, accesses, VDR recycling.  The
+    // generator tracks VDR liveness so wrvdr always has a register to
+    // write (kNoVdr is a validation outcome, not a fault path).
+    Rng rng(config_.seed ^ 0xc2b2ae3d27d4eb4fULL);
+    std::vector<bool> has_vdr(config_.threads, true);
+    std::size_t ndoms = d + 1;
+    std::size_t nregions = d + 3;
+    for (int i = 0; i < config_.churn_ops; ++i) {
+        std::size_t t = rng.below(config_.threads);
+        switch (rng.below(6)) {
+          case 0:
+          case 1:
+            if (has_vdr[t])
+                ops.push_back({.kind = Kind::kWrvdr, .task = t,
+                               .dom = rng.below(ndoms),
+                               .perm = VPerm::kFullAccess});
+            break;
+          case 2:
+            if (has_vdr[t])
+                ops.push_back({.kind = Kind::kWrvdr, .task = t,
+                               .dom = rng.below(ndoms),
+                               .perm = VPerm::kAccessDisable});
+            break;
+          case 3:
+          case 4:
+            ops.push_back({.kind = Kind::kAccess, .task = t,
+                           .region = rng.below(nregions),
+                           .write = rng.below(2) != 0});
+            break;
+          case 5:
+            ops.push_back({.kind = Kind::kVdrFree, .task = t});
+            ops.push_back({.kind = Kind::kVdrAlloc, .task = t,
+                           .pages = 2});
+            break;
+        }
+    }
+
+    // Epilogue: grant → revoke → free on a throwaway domain, so the sweep
+    // covers vdom_free of a domain that reached a VDS.
+    ops.push_back({.kind = Kind::kAlloc});             // doms[d + 1]
+    ops.push_back({.kind = Kind::kMmap, .pages = 1});  // regions[d + 3]
+    ops.push_back({.kind = Kind::kMprotect, .dom = d + 1,
+                   .region = d + 3});
+    ops.push_back({.kind = Kind::kWrvdr, .task = 0, .dom = d + 1,
+                   .perm = VPerm::kFullAccess});
+    ops.push_back({.kind = Kind::kWrvdr, .task = 0, .dom = d + 1,
+                   .perm = VPerm::kAccessDisable});
+    ops.push_back({.kind = Kind::kFreeDom, .dom = d + 1});
+    return ops;
+}
+
+void
+SweepHarness::prepare(World &w, const Op &op) const
+{
+    // Thread-scoped ops act from their task's core; the switch itself
+    // runs unarmed — the sweep targets the API op, not the scheduler.
+    switch (op.kind) {
+      case Op::Kind::kVdrAlloc:
+      case Op::Kind::kVdrFree:
+      case Op::Kind::kWrvdr:
+      case Op::Kind::kAccess: {
+        hw::Core &core = w.machine->core(op.task % config_.cores);
+        w.proc->switch_to(core, *w.tasks[op.task], false);
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+VdomStatus
+SweepHarness::perform(World &w, const Op &op, bool *verdict_ok) const
+{
+    hw::Core &core0 = w.machine->core(0);
+    switch (op.kind) {
+      case Op::Kind::kInit:
+        return w.sys->vdom_init(core0);
+      case Op::Kind::kVdrAlloc:
+        return w.sys->vdr_alloc(w.machine->core(op.task % config_.cores),
+                                *w.tasks[op.task], op.pages);
+      case Op::Kind::kVdrFree:
+        return w.sys->vdr_free(w.machine->core(op.task % config_.cores),
+                               *w.tasks[op.task]);
+      case Op::Kind::kMmap:
+        w.regions.emplace_back(w.proc->mm().mmap(op.pages), op.pages);
+        return VdomStatus::kOk;
+      case Op::Kind::kAlloc: {
+        VdomId v = w.sys->vdom_alloc(core0, op.frequent);
+        w.doms.push_back(v);
+        return v == kInvalidVdom ? VdomStatus::kResourceExhausted
+                                 : VdomStatus::kOk;
+      }
+      case Op::Kind::kMprotect: {
+        auto [vpn, pages] = w.regions[op.region];
+        if (op.span) {
+            auto [v2, p2] = w.regions[op.region + 1];
+            pages = v2 + p2 - vpn;
+        }
+        return w.sys->vdom_mprotect(core0, vpn, pages, w.doms[op.dom]);
+      }
+      case Op::Kind::kWrvdr:
+        return w.sys->wrvdr(w.machine->core(op.task % config_.cores),
+                            *w.tasks[op.task], w.doms[op.dom], op.perm);
+      case Op::Kind::kAccess: {
+        kernel::Task &task = *w.tasks[op.task];
+        hw::Core &core = w.machine->core(op.task % config_.cores);
+        hw::Vpn vpn = w.regions[op.region].first;
+        // DESIGN.md invariant 1: outcome == VDR policy, always — injected
+        // faults may slow an access down, never change its verdict.
+        VdomId vd = w.proc->mm().vdom_of(vpn);
+        const Vdr *vdr = task.vdr();
+        VPerm held = vdr ? vdr->get(vd) : VPerm::kAccessDisable;
+        bool allowed =
+            vd == kCommonVdom ||
+            (op.write ? held == VPerm::kFullAccess : vperm_active(held));
+        VAccess res = w.sys->access(core, task, vpn, op.write);
+        if (verdict_ok)
+            *verdict_ok = res.ok == allowed;
+        return VdomStatus::kOk;
+      }
+      case Op::Kind::kFreeDom:
+        return w.sys->vdom_free(core0, w.doms[op.dom]);
+    }
+    return VdomStatus::kOk;
+}
+
+void
+SweepHarness::fold(SweepResult &result, const std::string &line) const
+{
+    // Order-dependent chain: xor in the line hash, then smear with the
+    // FNV prime, so reordered runs cannot collide to the same digest.
+    result.digest ^= snapshot_hash(line);
+    result.digest *= 1099511628211ULL;
+}
+
+void
+SweepHarness::record_violation(SweepResult &result, World *world,
+                               const FaultPlan *plan,
+                               const std::string &what)
+{
+    ++result.violations;
+    if (!result.first_violation.empty())
+        return;
+    result.first_violation = what;
+    if (config_.postmortem_path.empty() || world == nullptr)
+        return;
+    telemetry::PostmortemInfo info;
+    info.reason = "sweep violation: " + what;
+    info.context.emplace_back("arch", hw::arch_name(config_.arch));
+    info.context.emplace_back("seed", std::to_string(config_.seed));
+    info.context.emplace_back("cores", std::to_string(config_.cores));
+    info.flight = &flight_;
+    info.metrics = telemetry::metrics_sink();
+    info.plan = plan;
+    info.system = world->sys.get();
+    result.postmortem_written =
+        telemetry::export_postmortem(config_.postmortem_path, info);
+}
+
+void
+SweepHarness::run_injection(const std::vector<Op> &script, std::size_t i,
+                            FaultSite site, std::uint64_t k, bool sticky,
+                            SweepResult &result)
+{
+    auto w = build_world();
+    for (std::size_t j = 0; j < i; ++j) {
+        prepare(*w, script[j]);
+        perform(*w, script[j], nullptr);
+    }
+    const Op &op = script[i];
+    prepare(*w, op);
+
+    const std::string before = snapshot_state(*w->sys);
+    const std::uint64_t rollbacks_before =
+        w->proc->mm().journal().rollbacks();
+
+    FaultPlan plan(config_.seed);
+    plan.arm_exact(site, k, sticky);
+    flight_.clear();
+    bool verdict_ok = true;
+    VdomStatus st;
+    {
+        ScopedFaults armed(plan);
+        std::optional<telemetry::ScopedFlightRecorder> recording;
+        if (config_.flight_per_core > 0)
+            recording.emplace(flight_);
+        st = perform(*w, op, &verdict_ok);
+    }
+    ++result.injected_runs;
+    result.rollbacks +=
+        w->proc->mm().journal().rollbacks() - rollbacks_before;
+
+    const std::string label =
+        "op " + std::to_string(i) + " (" + Op::name(op.kind) +
+        ") site " + fault_site_name(site) + " k=" + std::to_string(k) +
+        (sticky ? " sticky" : "") + " (seed " +
+        std::to_string(config_.seed) + ", " + hw::arch_name(config_.arch) +
+        ")";
+    const std::string after = snapshot_state(*w->sys);
+
+    if (is_fault_status(st)) {
+        // A graceful failure must be a perfect no-op architecturally.
+        ++result.failed_ops;
+        ++result.snapshot_checks;
+        if (after != before)
+            record_violation(result, w.get(), &plan,
+                             label + ": failed op mutated state");
+    } else if (st == VdomStatus::kOk) {
+        if (plan.total_fires() > 0)
+            ++result.degraded_ops;
+        if (!verdict_ok)
+            record_violation(
+                result, w.get(), &plan,
+                label + ": access verdict diverged from VDR policy");
+    } else {
+        record_violation(result, w.get(), &plan,
+                         label + ": unexpected status " + status_name(st));
+    }
+
+    std::string bad = check_design_invariants(*w->proc, w->params,
+                                              &result.invariant_checks);
+    if (!bad.empty())
+        record_violation(result, w.get(), &plan, label + ": " + bad);
+
+    // Rolled-back ops must be cleanly retryable once the fault clears.
+    if (is_fault_status(st)) {
+        bool retry_ok = true;
+        VdomStatus retry = perform(*w, op, &retry_ok);
+        if (retry != VdomStatus::kOk || !retry_ok)
+            record_violation(result, w.get(), &plan,
+                             label + ": retry after rollback failed: " +
+                                 status_name(retry));
+    }
+
+    fold(result, label + " -> " + status_name(st) + " " +
+                     std::to_string(snapshot_hash(after)));
+}
+
+SweepResult
+SweepHarness::run()
+{
+    SweepResult result;
+    const std::vector<Op> script = make_script();
+    result.script_ops = script.size();
+
+    // Probe pass: one clean world with every site count-armed, recording
+    // per-(op, site) crossing counts.  The script must run clean — the
+    // sweep's promises are meaningless over a broken baseline.
+    std::vector<std::array<std::uint64_t, kNumFaultSites>> crossings(
+        script.size());
+    {
+        auto w = build_world();
+        FaultPlan probe(config_.seed);
+        for (std::size_t s = 0; s < kNumFaultSites; ++s)
+            probe.arm_probe(static_cast<FaultSite>(s));
+        ScopedFaults armed(probe);
+        for (std::size_t i = 0; i < script.size(); ++i) {
+            const Op &op = script[i];
+            prepare(*w, op);
+            std::array<std::uint64_t, kNumFaultSites> before{};
+            for (std::size_t s = 0; s < kNumFaultSites; ++s)
+                before[s] = probe.occurrences(static_cast<FaultSite>(s));
+            bool verdict_ok = true;
+            VdomStatus st = perform(*w, op, &verdict_ok);
+            for (std::size_t s = 0; s < kNumFaultSites; ++s)
+                crossings[i][s] =
+                    probe.occurrences(static_cast<FaultSite>(s)) -
+                    before[s];
+            std::string label = "clean op " + std::to_string(i) + " (" +
+                                Op::name(op.kind) + ")";
+            if (st != VdomStatus::kOk || !verdict_ok) {
+                record_violation(result, w.get(), &probe,
+                                 label + " failed: " + status_name(st));
+                return result;
+            }
+            std::string bad = check_design_invariants(
+                *w->proc, w->params, &result.invariant_checks);
+            if (!bad.empty()) {
+                record_violation(result, w.get(), &probe,
+                                 label + ": " + bad);
+                return result;
+            }
+            fold(result, label + " " +
+                             std::to_string(snapshot_hash(
+                                 snapshot_state(*w->sys))));
+        }
+    }
+
+    // Injection passes: one fresh world per (op, site, crossing[, mode]).
+    for (std::size_t i = 0; i < script.size(); ++i) {
+        for (std::size_t s = 0; s < kNumFaultSites; ++s) {
+            auto site = static_cast<FaultSite>(s);
+            std::uint64_t n = crossings[i][s];
+            result.fault_points += n;
+            for (std::uint64_t k = 1; k <= n; ++k) {
+                run_injection(script, i, site, k, false, result);
+                if (config_.sticky && sticky_swept(site))
+                    run_injection(script, i, site, k, true, result);
+            }
+        }
+    }
+    return result;
 }
 
 }  // namespace vdom::sim

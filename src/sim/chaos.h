@@ -8,6 +8,14 @@
 /// create/free and VDR churn — while injection sites fire underneath it.
 /// It is gtest-free so both tests/test_chaos.cc and bench/chaos_stress.cc
 /// can link it; violations are reported as data, not assertions.
+///
+/// Alongside the randomized harness lives its systematic sibling, the
+/// fault-point sweep (SweepHarness): a deterministic script of public API
+/// ops is probed once to count every fault-point crossing, then each
+/// (op, site, k-th crossing) is replayed in a fresh world with the fault
+/// fired exactly there.  Ops that fail with a graceful status must leave
+/// the architectural snapshot (vdom/introspect.h) byte-identical — the
+/// atomicity oracle for the undo journal (kernel/journal.h).
 
 #pragma once
 
@@ -109,6 +117,89 @@ class ChaosHarness {
     telemetry::FlightRecorder flight_;
     std::vector<kernel::Task *> tasks_;
     std::vector<std::pair<VdomId, hw::Vpn>> doms_;
+};
+
+// --- systematic fault-point sweep ----------------------------------------
+
+/// Shape of one sweep.  Everything is derived from the seed; two runs with
+/// the same config produce identical scripts, crossing counts and digests.
+struct SweepConfig {
+    hw::ArchKind arch = hw::ArchKind::kX86;
+    std::size_t cores = 2;
+    std::size_t threads = 2;
+    std::size_t domains = 4;
+    /// Seeded churn ops appended to the deterministic script prologue.
+    int churn_ops = 12;
+    std::uint64_t seed = 1;
+    /// Also replay each crossing in sticky mode (the fault keeps firing
+    /// from crossing k on), defeating in-op retry loops.  Pure-delay
+    /// sites are exempt — sticky there changes no architectural outcome.
+    bool sticky = true;
+    /// Flight-recorder budget per core ring (0 disables the recorder).
+    std::size_t flight_per_core = 256;
+    /// When non-empty, the first violation dumps a post-mortem bundle.
+    std::string postmortem_path;
+};
+
+/// Outcome of one sweep.
+struct SweepResult {
+    std::uint64_t script_ops = 0;      ///< Ops in the deterministic script.
+    std::uint64_t fault_points = 0;    ///< Total (op, site, k) crossings.
+    std::uint64_t injected_runs = 0;   ///< Fresh worlds replayed.
+    std::uint64_t failed_ops = 0;      ///< Graceful fault statuses seen.
+    std::uint64_t degraded_ops = 0;    ///< Fired, but the op still kOk.
+    std::uint64_t rollbacks = 0;       ///< Journal rollbacks observed.
+    std::uint64_t snapshot_checks = 0; ///< Before/after snapshot diffs.
+    std::uint64_t invariant_checks = 0;
+    std::uint64_t violations = 0;
+    std::string first_violation;       ///< Empty when every check held.
+    std::uint64_t digest = 0;          ///< Run fingerprint (determinism gate).
+    bool postmortem_written = false;
+
+    bool ok() const { return violations == 0; }
+};
+
+/// The exhaustive sweep driver: probe once, then one fresh world per
+/// (op, site, k-th crossing[, sticky]) with the fault fired exactly there.
+///
+/// The oracle per injected run:
+///   - a graceful fault status must leave the introspect snapshot
+///     byte-identical to the pre-op snapshot (journal rolled back), and a
+///     disarmed retry of the same op must succeed;
+///   - a kOk under injection (delay/retry sites) must keep the DESIGN.md
+///     invariants and the access-verdict policy;
+///   - any other status, snapshot divergence, or invariant breach is a
+///     violation, and the first one dumps a post-mortem bundle.
+class SweepHarness {
+  public:
+    explicit SweepHarness(const SweepConfig &config);
+    ~SweepHarness();
+
+    SweepHarness(const SweepHarness &) = delete;
+    SweepHarness &operator=(const SweepHarness &) = delete;
+
+    /// Runs probe + injection passes and returns the tally.
+    SweepResult run();
+
+    const telemetry::FlightRecorder &flight() const { return flight_; }
+
+  private:
+    struct Op;
+    struct World;
+
+    std::vector<Op> make_script() const;
+    std::unique_ptr<World> build_world() const;
+    void prepare(World &w, const Op &op) const;
+    VdomStatus perform(World &w, const Op &op, bool *verdict_ok) const;
+    void run_injection(const std::vector<Op> &script, std::size_t i,
+                       FaultSite site, std::uint64_t k, bool sticky,
+                       SweepResult &result);
+    void record_violation(SweepResult &result, World *world,
+                          const FaultPlan *plan, const std::string &what);
+    void fold(SweepResult &result, const std::string &line) const;
+
+    SweepConfig config_;
+    telemetry::FlightRecorder flight_;
 };
 
 }  // namespace vdom::sim

@@ -99,6 +99,30 @@ class FaultPlan {
 
     void disarm(FaultSite site) { state(site).armed = false; }
 
+    // --- systematic sweep arming (deterministic, no RNG) -----------------
+    //
+    // The sweep oracle (sim/chaos.h) runs an op once with every site
+    // probe-armed to count fault-point crossings N, then replays the op N
+    // times firing exactly at crossing k.  Neither mode consumes the RNG
+    // (probability stays 0), so the sweep is bit-reproducible.
+
+    /// Count-only: occurrences are tallied, nothing ever fires.
+    void arm_probe(FaultSite site) { arm(site, FaultSpec{}); }
+
+    /// Fires exactly at the \p k-th occurrence (1-based).  With \p sticky,
+    /// keeps firing at every occurrence from k on — models a persistent
+    /// failure that defeats in-op retry loops.
+    void
+    arm_exact(FaultSite site, std::uint64_t k, bool sticky = false)
+    {
+        FaultSpec spec;
+        spec.every = 1;
+        spec.skip = k == 0 ? 0 : k - 1;
+        if (!sticky)
+            spec.max_fires = 1;
+        arm(site, spec);
+    }
+
     bool armed(FaultSite site) const { return state(site).armed; }
 
     /// The trigger spec last armed for \p site (meaningful while armed).

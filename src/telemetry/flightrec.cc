@@ -36,6 +36,7 @@ flight_event_name(FlightEvent event)
       case FlightEvent::kVdomInstall: return "vdom_install";
       case FlightEvent::kVdomEvict: return "vdom_evict";
       case FlightEvent::kFaultInjected: return "fault_injected";
+      case FlightEvent::kTxnRollback: return "txn_rollback";
       case FlightEvent::kNumEvents: break;
     }
     return "?";

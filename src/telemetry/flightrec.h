@@ -60,6 +60,9 @@ enum class FlightEvent : std::uint8_t {
     kVdomEvict,       ///< Vdom evicted from a VDS; a = vdom, b = vds id.
     // Fault injection (sim/fault.h); a = FaultSite.
     kFaultInjected,
+    // Transaction rollback (kernel/journal.h); a = entries unwound,
+    // name = the op label.
+    kTxnRollback,
     kNumEvents,
 };
 

@@ -76,6 +76,8 @@ enum class Metric : std::uint16_t {
     kVdsAlloc,
     // Fault injection (sim/fault.h).
     kFaultsInjected,
+    // Transactional ops (kernel/journal.h).
+    kTxnRollback,
     // Latency distributions (simulated cycles).
     kWrvdrLatency,
     kShootdownLatency,
@@ -83,6 +85,7 @@ enum class Metric : std::uint16_t {
     // Cross-core shootdown flow shape (flight recorder, PR 6).
     kShootdownFanout,      ///< IPI targets per shootdown.
     kShootdownE2eLatency,  ///< Issue -> last remote flush completion.
+    kTxnJournalDepth,      ///< Undo entries unwound per rollback.
     kNumMetrics,
 };
 
@@ -96,7 +99,8 @@ struct MetricDef {
 };
 
 /// Name/kind table, indexed by Metric.  Naming scheme:
-/// "<subsystem>.<event>[_<unit>]"; histograms end in "_cycles".
+/// "<subsystem>.<event>[_<unit>]"; histograms end in "_cycles"
+/// (latencies), "_targets" (fan-outs) or "_depth" (log sizes).
 constexpr std::array<MetricDef, kNumWellKnownMetrics> kMetricDefs = {{
     {"tlb.hit", MetricKind::kCounter},
     {"tlb.miss", MetricKind::kCounter},
@@ -130,11 +134,13 @@ constexpr std::array<MetricDef, kNumWellKnownMetrics> kMetricDefs = {{
     {"virt.migration", MetricKind::kCounter},
     {"virt.vds_alloc", MetricKind::kCounter},
     {"fault.injected", MetricKind::kCounter},
+    {"txn.rollback", MetricKind::kCounter},
     {"api.wrvdr_cycles", MetricKind::kHistogram},
     {"shootdown.latency_cycles", MetricKind::kHistogram},
     {"api.fault_cycles", MetricKind::kHistogram},
     {"shootdown.fanout_targets", MetricKind::kHistogram},
     {"shootdown.e2e_cycles", MetricKind::kHistogram},
+    {"txn.journal_depth", MetricKind::kHistogram},
 }};
 
 /// Returns the registry name of a well-known metric.

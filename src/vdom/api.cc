@@ -58,16 +58,20 @@ VdomSystem::vdom_init(hw::Core &core)
     core.charge(hw::CostKind::kSyscall, costs.syscall);
     // Allocate the API region (VDR arrays + secure sharing page) and lock
     // it under the access-never pdom for the whole process lifetime (§6.3).
+    // Transactional: a fault during the assignment must not leave the
+    // region's VMA behind (or api_region_ pointing at unlocked pages).
     kernel::MmStruct &mm = proc_->mm();
-    api_region_ = mm.mmap(kApiRegionPages);
-    VdomStatus st =
-        mm.assign_vdom(core, api_region_, kApiRegionPages, kApiVdom);
+    kernel::ScopedTxn txn(mm.journal(), core, 0, "vdom_init");
+    hw::Vpn region = mm.mmap(kApiRegionPages);
+    VdomStatus st = mm.assign_vdom(core, region, kApiRegionPages, kApiVdom);
     if (st != VdomStatus::kOk)
-        return st;
+        return st;  // Rollback unwinds the mmap.
     // Touch the pages so they are present (and pdom1-tagged) everywhere.
     for (std::uint64_t i = 0; i < kApiRegionPages; ++i)
-        mm.fault_in(core, *mm.vds0(), api_region_ + i);
+        mm.fault_in(core, *mm.vds0(), region + i);
+    api_region_ = region;
     initialized_ = true;
+    txn.commit();
     return VdomStatus::kOk;
 }
 
@@ -266,9 +270,24 @@ VdomSystem::wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
     if (proc_->params().user_perm_reg)
         core.charge(hw::CostKind::kPermReg, costs.perm_reg_read);
     core.charge(hw::CostKind::kPermReg, costs.perm_reg_write);
-    // Injected permission-register write failure: each failed write is
-    // re-issued (and charged) up to the retry budget; past it, the call
-    // gives up before touching the VDR, so no state diverges.
+
+    // Everything past this point mutates: the VDR array write, the mapping
+    // machinery, the thread-reference bookkeeping.  The transaction makes
+    // every failure exit below all-or-nothing.
+    kernel::MmStruct &mm = proc_->mm();
+    kernel::ScopedTxn txn(mm.journal(), core, task.tid(), "wrvdr");
+
+    Vdr &vdr = *task.vdr();
+    VPerm old = vdr.set(vdom, perm);
+    {
+        Vdr *vp = &vdr;
+        mm.journal().record([vp, vdom, old] { vp->set(vdom, old); });
+    }
+
+    // Injected permission-register write failure: the VDR array write has
+    // landed but the register write keeps bouncing; each re-issue is
+    // charged, and past the budget the call gives up — the rollback
+    // restores the VDR, so no state diverges.
     for (int retry = 1; sim::fault_fires(sim::FaultSite::kPermRegWriteFail);
          ++retry) {
         tm::flight_record(
@@ -283,10 +302,6 @@ VdomSystem::wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
         core.charge(hw::CostKind::kPermReg, costs.perm_reg_write);
     }
 
-    Vdr &vdr = *task.vdr();
-    VPerm old = vdr.set(vdom, perm);
-
-    kernel::Vds *before = task.vds();
     if (vperm_active(perm)) {
         // Granting access: the vdom must be mapped somewhere usable (the
         // algorithm may switch/migrate the thread, §5.4).  On ARM the API
@@ -296,12 +311,16 @@ VdomSystem::wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
             core, task, vdom,
             /*charge_kernel_entry=*/proc_->params().user_perm_reg);
         if (!pdom)
-            return VdomStatus::kInvalidVdom;
+            return VdomStatus::kInvalidVdom;  // Rollback restores the VDR.
         kernel::Vds *after = task.vds();
-        (void)before;
+        kernel::Task *tp = &task;
         if (!vperm_active(old)) {
             after->add_thread_ref(vdom);
             task.set_ref_home(vdom, after);
+            mm.journal().record([tp, after, vdom] {
+                tp->clear_ref_home(vdom);
+                after->remove_thread_ref(vdom);
+            });
         } else if (kernel::Vds *home = task.ref_home(vdom);
                    home != after) {
             // Already active, but the grant landed in a different VDS
@@ -310,6 +329,15 @@ VdomSystem::wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
                 home->remove_thread_ref(vdom);
             after->add_thread_ref(vdom);
             task.set_ref_home(vdom, after);
+            mm.journal().record([tp, home, after, vdom] {
+                after->remove_thread_ref(vdom);
+                if (home) {
+                    home->add_thread_ref(vdom);
+                    tp->set_ref_home(vdom, home);
+                } else {
+                    tp->clear_ref_home(vdom);
+                }
+            });
         }
         after->touch(vdom, core.now());
         sync_hw_slot(core, task, vdom, *pdom);
@@ -317,15 +345,22 @@ VdomSystem::wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
         // Revoking access: drop the reference on the VDS that holds it
         // (not necessarily the current one) and clear the hardware slot.
         if (vperm_active(old)) {
-            if (kernel::Vds *home = task.ref_home(vdom))
-                home->remove_thread_ref(vdom);
-            else
-                task.vds()->remove_thread_ref(vdom);
+            kernel::Vds *home = task.ref_home(vdom);
+            kernel::Vds *holder = home ? home : task.vds();
+            holder->remove_thread_ref(vdom);
             task.clear_ref_home(vdom);
+            kernel::Task *tp = &task;
+            bool had_home = home != nullptr;
+            mm.journal().record([tp, holder, vdom, had_home] {
+                holder->add_thread_ref(vdom);
+                if (had_home)
+                    tp->set_ref_home(vdom, holder);
+            });
         }
         if (auto pdom = task.vds()->pdom_of(vdom))
             sync_hw_slot(core, task, vdom, *pdom);
     }
+    txn.commit();
     return VdomStatus::kOk;
 }
 

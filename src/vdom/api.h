@@ -96,7 +96,9 @@ class VdomSystem {
                      VPerm *out, ApiMode mode = ApiMode::kSecure);
 
     /// Convenience form: returns the permission, kAccessDisable on any
-    /// validation failure.
+    /// validation failure.  Routed through the status-returning overload,
+    /// so both reject freed/out-of-range ids identically (tests/test_txn.cc
+    /// pins the agreement).
     VPerm rdvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
                 ApiMode mode = ApiMode::kSecure);
 

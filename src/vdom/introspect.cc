@@ -66,6 +66,83 @@ format_domain_map(const kernel::Vds &vds, const hw::ArchParams &params)
     return out.str();
 }
 
+std::string
+snapshot_state(VdomSystem &sys)
+{
+    kernel::Process &proc = sys.process();
+    kernel::MmStruct &mm = proc.mm();
+    std::ostringstream out;
+
+    out << "init " << (sys.initialized() ? 1 : 0) << " api_region "
+        << sys.api_region() << "\n";
+
+    // Domain table: allocated ids, hints, and their VDT area chains.
+    auto high_water = static_cast<VdomId>(mm.vdm().high_water());
+    for (VdomId v = 0; v < high_water; ++v) {
+        if (!mm.vdm().is_allocated(v))
+            continue;
+        out << "vdom " << v << " freq " << (mm.vdm().is_frequent(v) ? 1 : 0)
+            << " areas[";
+        for (const kernel::VdtArea &a : mm.vdm().vdt().areas(v))
+            out << "(" << a.start << "," << a.pages << "," << (a.huge ? 1 : 0)
+                << ")";
+        out << "]\n";
+    }
+
+    // Address-space layout.
+    for (const auto &[start, vma] : mm.vmas()) {
+        out << "vma " << start << " " << vma.pages << " " << vma.vdom << " "
+            << (vma.huge ? 1 : 0) << "\n";
+    }
+
+    // Per-VDS domain maps (Fig. 3) and residency; pdom order is the map's
+    // index order, so iteration is deterministic.
+    for (const auto &vds : mm.vdses()) {
+        out << "vds " << vds->id() << " map[";
+        for (auto [pdom, vdomid] : vds->mapped_pairs())
+            out << "(" << static_cast<int>(pdom) << "," << vdomid << ","
+                << vds->thread_refs(vdomid) << ")";
+        out << "] free " << vds->free_pdoms() << " resident "
+            << vds->resident_threads() << " cpus " << vds->cpu_bitmap()
+            << "\n";
+    }
+
+    // Per-thread VDRs and reference bookkeeping.
+    for (const auto &task : proc.tasks()) {
+        out << "task " << task->tid() << " vds "
+            << (task->vds() ? static_cast<int>(task->vds()->id()) : -1)
+            << " vdr " << (task->has_vdr() ? 1 : 0);
+        if (task->has_vdr()) {
+            out << " nas " << task->nas_limit() << " perms[";
+            task->vdr()->for_each([&](VdomId v, VPerm perm) {
+                out << "(" << v << "," << vperm_name(perm) << ")";
+            });
+            out << "] refs[";
+            task->for_each_ref_home([&](VdomId v, kernel::Vds *home) {
+                out << "(" << v << ","
+                    << (home ? static_cast<int>(home->id()) : -1) << ")";
+            });
+            out << "] owned[";
+            for (const kernel::Vds *owned : task->owned_vdses())
+                out << owned->id() << ",";
+            out << "]";
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::uint64_t
+snapshot_hash(const std::string &data)
+{
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis.
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 1099511628211ULL;  // FNV prime.
+    }
+    return h;
+}
+
 void
 dump_state(VdomSystem &sys, std::ostream &out)
 {

@@ -39,4 +39,16 @@ void dump_state(VdomSystem &sys, std::ostream &out);
 std::string format_domain_map(const kernel::Vds &vds,
                               const hw::ArchParams &params);
 
+/// Canonical architectural snapshot, the fault-sweep atomicity oracle
+/// (sim/chaos.h): VDM table, VDT areas, VMA layout, per-VDS domain maps
+/// and residency, per-thread VDRs and reference homes.  Deliberately
+/// *excludes* caches and performance state — TLB generations, LRU ticks,
+/// clocks, metrics, VDR memos — so that two states compare equal exactly
+/// when they are architecturally indistinguishable.  An op that fails
+/// with a documented error status must leave this string byte-identical.
+std::string snapshot_state(VdomSystem &sys);
+
+/// FNV-1a over \p data (stable 64-bit digest for sweep determinism).
+std::uint64_t snapshot_hash(const std::string &data);
+
 }  // namespace vdom

@@ -88,4 +88,22 @@ Sandbox::mprotect_allowed(hw::Vpn vpn, std::uint64_t pages) const
     return vpn + pages <= api || vpn >= api_end;
 }
 
+VdomStatus
+Sandbox::sandbox_mprotect(hw::Core &core, hw::Vpn vpn, std::uint64_t pages,
+                          VdomId vdom)
+{
+    ++stats_.filtered_syscalls;
+    if (!mprotect_allowed(vpn, pages)) {
+        ++stats_.filter_denials;
+        return VdomStatus::kPermissionDenied;
+    }
+    kernel::MmStruct &mm = sys_->process().mm();
+    kernel::ScopedTxn txn(mm.journal(), core, 0, "sandbox_mprotect");
+    VdomStatus st = sys_->vdom_mprotect(core, vpn, pages, vdom);
+    if (st != VdomStatus::kOk)
+        return st;
+    txn.commit();
+    return st;
+}
+
 }  // namespace vdom

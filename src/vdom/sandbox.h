@@ -78,6 +78,13 @@ class Sandbox {
     /// address-space integrity via the normal vdom_mprotect path.
     bool mprotect_allowed(hw::Vpn vpn, std::uint64_t pages) const;
 
+    /// The sandboxed protection-changing syscall itself: enforces
+    /// mprotect_allowed (kPermissionDenied on API-region overlap), then
+    /// runs vdom_mprotect under a transaction so a fault mid-range leaves
+    /// the sandboxed process's layout untouched.
+    VdomStatus sandbox_mprotect(hw::Core &core, hw::Vpn vpn,
+                                std::uint64_t pages, VdomId vdom);
+
     const SandboxStats &stats() const { return stats_; }
 
   private:

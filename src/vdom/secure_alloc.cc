@@ -24,17 +24,25 @@ DomainAllocator::DomainAllocator(VdomSystem &sys, hw::Core &core,
     (void)core;
 }
 
-DomainAllocator::Chunk &
+DomainAllocator::Chunk *
 DomainAllocator::grow(hw::Core &core, std::uint64_t pages)
 {
     kernel::MmStruct &mm = sys_->process().mm();
+    // Transactional growth: the arena's whole guarantee is that every
+    // byte it hands out is domain-protected, so the mmap and the
+    // protection commit together — a faulted vdom_mprotect unwinds the
+    // mapping instead of leaking an unprotected chunk into the pool.
+    kernel::ScopedTxn txn(mm.journal(), core, 0, "secure_alloc.grow");
     Chunk chunk;
     chunk.start = mm.mmap(pages);
     chunk.pages = pages;
-    sys_->vdom_mprotect(core, chunk.start, pages, vdom_);
+    last_status_ = sys_->vdom_mprotect(core, chunk.start, pages, vdom_);
+    if (last_status_ != VdomStatus::kOk)
+        return nullptr;  // Rollback unwinds the mmap.
+    txn.commit();
     total_pages_ += pages;
     chunks_.push_back(chunk);
-    return chunks_.back();
+    return &chunks_.back();
 }
 
 SecureAllocation
@@ -50,10 +58,12 @@ DomainAllocator::allocate(hw::Core &core, std::uint64_t bytes,
     // Large allocations get a dedicated page run.
     if (bytes > chunk_bytes) {
         std::uint64_t pages = (bytes + page_size_ - 1) / page_size_;
-        Chunk &chunk = grow(core, pages);
-        chunk.used_bytes = bytes;
+        Chunk *chunk = grow(core, pages);
+        if (!chunk)
+            return {};
+        chunk->used_bytes = bytes;
         bytes_in_use_ += bytes;
-        return {chunk.start * page_size_, bytes};
+        return {chunk->start * page_size_, bytes};
     }
     // Bump-allocate from the most recent chunk with room.
     for (auto it = chunks_.rbegin(); it != chunks_.rend(); ++it) {
@@ -68,10 +78,12 @@ DomainAllocator::allocate(hw::Core &core, std::uint64_t bytes,
             return {chunk.start * page_size_ + offset, bytes};
         }
     }
-    Chunk &chunk = grow(core, chunk_pages_);
-    chunk.used_bytes = bytes;
+    Chunk *chunk = grow(core, chunk_pages_);
+    if (!chunk)
+        return {};
+    chunk->used_bytes = bytes;
     bytes_in_use_ += bytes;
-    return {chunk.start * page_size_, bytes};
+    return {chunk->start * page_size_, bytes};
 }
 
 void

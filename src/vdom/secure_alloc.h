@@ -24,10 +24,13 @@
 
 namespace vdom {
 
-/// One protected allocation.
+/// One protected allocation.  Empty (size 0) when the arena could not
+/// grow its protected pool — see DomainAllocator::last_status().
 struct SecureAllocation {
     hw::VAddr addr = 0;       ///< Byte address (page * page_size + offset).
     std::uint64_t size = 0;
+
+    bool ok() const { return size != 0; }
 
     hw::Vpn
     page(std::uint64_t page_size) const
@@ -56,8 +59,17 @@ class DomainAllocator {
     /// Allocates \p bytes with \p align alignment (power of two); grows
     /// the protected pool as needed.  Never returns memory on a page
     /// shared with another domain.
+    ///
+    /// When pool growth fails (an injected fault rejected the
+    /// vdom_mprotect), returns an empty allocation (size 0) with the pool
+    /// unchanged — the mmap is rolled back, never leaking an unprotected
+    /// chunk; last_status() carries the reason and the caller may retry.
     SecureAllocation allocate(hw::Core &core, std::uint64_t bytes,
                               std::uint64_t align = 8);
+
+    /// Status of the most recent pool growth (kOk when allocate() never
+    /// had to grow or the growth succeeded).
+    VdomStatus last_status() const { return last_status_; }
 
     /// Frees every allocation at once; the protected pages are retained
     /// for reuse (their contents remain reachable only through this
@@ -92,8 +104,9 @@ class DomainAllocator {
         std::uint64_t used_bytes = 0;  ///< Bump offset within the chunk.
     };
 
-    /// Adds a run of \p pages protected pages.
-    Chunk &grow(hw::Core &core, std::uint64_t pages);
+    /// Adds a run of \p pages protected pages.  nullptr when the
+    /// protection was rejected (the mapping is rolled back with it).
+    Chunk *grow(hw::Core &core, std::uint64_t pages);
 
     VdomSystem *sys_;
     VdomId vdom_;
@@ -102,6 +115,7 @@ class DomainAllocator {
     std::vector<Chunk> chunks_;
     std::uint64_t total_pages_ = 0;
     std::uint64_t bytes_in_use_ = 0;
+    VdomStatus last_status_ = VdomStatus::kOk;
 };
 
 }  // namespace vdom

@@ -150,14 +150,15 @@ TEST(MetricNames, WellKnownTableIsComplete)
         auto m = static_cast<Metric>(i);
         ASSERT_NE(metric_name(m), nullptr);
         EXPECT_GT(std::string(metric_name(m)).size(), 0u);
-        // Naming scheme: histograms end in "_cycles" (latencies) or
-        // "_targets" (fan-out distributions).
+        // Naming scheme: histograms end in "_cycles" (latencies),
+        // "_targets" (fan-out distributions) or "_depth" (log sizes).
         std::string name = metric_name(m);
         auto ends_with = [&name](const std::string &suffix) {
             return name.size() > suffix.size() &&
                    name.substr(name.size() - suffix.size()) == suffix;
         };
-        bool histo_suffix = ends_with("_cycles") || ends_with("_targets");
+        bool histo_suffix = ends_with("_cycles") || ends_with("_targets") ||
+                            ends_with("_depth");
         EXPECT_EQ(metric_kind(m) == MetricKind::kHistogram, histo_suffix)
             << name;
     }
