@@ -21,8 +21,17 @@
 /// failed ops mutated nothing.  The sweep digest lands in the JSON so
 /// run_all.sh can diff two seeded runs.
 ///
-/// Usage: chaos_stress [--quick] [--sweep] [--seed N] [--json out.json]
-///                     [--postmortem bundle.json]
+/// With `--crash-sweep`, the exhaustive crash-point recovery sweep
+/// (sim::CrashSweepHarness) crashes every WAL ordering point and fault
+/// crossing of every scripted op, reboots, recovers from the write-ahead
+/// log, and checks the durable-state, PMO-integrity and access-verdict
+/// oracles.  Its digest also lands in the JSON for double-run diffing.
+///
+/// Unknown flags are rejected (exit 2) so a typo cannot silently run the
+/// default churn.
+///
+/// Usage: chaos_stress [--quick] [--sweep] [--crash-sweep] [--seed N]
+///                     [--json out.json] [--postmortem bundle.json]
 
 #include <cstdio>
 #include <cstdlib>
@@ -207,13 +216,126 @@ run_sweep(BenchReport &report, hw::ArchKind arch, bool quick,
     return 0;
 }
 
+int
+run_crash_sweep(BenchReport &report, hw::ArchKind arch, bool quick,
+                std::uint64_t seed, const std::string &postmortem)
+{
+    sim::CrashSweepConfig config;
+    config.arch = arch;
+    config.seed = seed;
+    config.churn_ops = quick ? 6 : 12;
+    config.domains = quick ? 3 : 4;
+    config.postmortem_path = postmortem;
+
+    telemetry::MetricsRegistry registry(config.cores);
+    sim::CrashSweepHarness harness(config);
+    sim::CrashSweepResult result;
+    {
+        telemetry::ScopedMetrics attach(registry);
+        result = harness.run();
+    }
+    if (result.postmortem_written)
+        std::fprintf(stderr, "postmortem bundle -> %s\n",
+                     postmortem.c_str());
+
+    std::printf("%-4s crash ops=%-4llu points=%-5llu recoveries=%-5llu "
+                "replayed=%-6llu torn=%-5llu undone=%-4llu "
+                "digest=%016llx\n",
+                hw::arch_name(arch),
+                static_cast<unsigned long long>(result.script_ops),
+                static_cast<unsigned long long>(result.crash_points),
+                static_cast<unsigned long long>(result.recoveries),
+                static_cast<unsigned long long>(result.replayed_ops),
+                static_cast<unsigned long long>(result.torn_records),
+                static_cast<unsigned long long>(result.undone_ops),
+                static_cast<unsigned long long>(result.digest));
+    if (!result.ok()) {
+        std::fprintf(stderr, "chaos_stress: CRASH SWEEP VIOLATION: %s\n",
+                     result.first_violation.c_str());
+        return 1;
+    }
+
+    char digest[17];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  static_cast<unsigned long long>(result.digest));
+    BenchRecord &rec = report.add();
+    rec.config("arch", hw::arch_name(arch))
+        .config("mode", "crash_sweep")
+        .config("cores", static_cast<std::uint64_t>(config.cores))
+        .config("threads", static_cast<std::uint64_t>(config.threads))
+        .config("domains", static_cast<std::uint64_t>(config.domains))
+        .config("churn_ops", static_cast<std::uint64_t>(config.churn_ops))
+        .config("seed", seed)
+        .config("digest", digest);
+    rec.metrics_from(registry)
+        .metric("crash_sweep.script_ops",
+                static_cast<double>(result.script_ops))
+        .metric("crash_sweep.crash_points",
+                static_cast<double>(result.crash_points))
+        .metric("crash_sweep.injected_runs",
+                static_cast<double>(result.injected_runs))
+        .metric("crash_sweep.recoveries",
+                static_cast<double>(result.recoveries))
+        .metric("crash_sweep.replayed_ops",
+                static_cast<double>(result.replayed_ops))
+        .metric("crash_sweep.torn_records",
+                static_cast<double>(result.torn_records))
+        .metric("crash_sweep.undone_ops",
+                static_cast<double>(result.undone_ops))
+        .metric("crash_sweep.pmo_checks",
+                static_cast<double>(result.pmo_checks))
+        .metric("crash_sweep.snapshot_checks",
+                static_cast<double>(result.snapshot_checks))
+        .metric("crash_sweep.invariant_checks",
+                static_cast<double>(result.invariant_checks))
+        .metric("crash_sweep.violations",
+                static_cast<double>(result.violations));
+    return 0;
+}
+
 bool
-sweep_mode(int argc, char **argv)
+flag_set(int argc, char **argv, const char *flag)
 {
     for (int i = 1; i < argc; ++i)
-        if (std::string(argv[i]) == "--sweep")
+        if (std::string(argv[i]) == flag)
             return true;
     return false;
+}
+
+/// Strict CLI validation: a typo like `--swep` must not silently run the
+/// default churn.  Returns false (after printing usage) on any unknown
+/// flag or a value flag missing its argument.
+bool
+validate_args(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick" || arg == "--sweep" || arg == "--crash-sweep")
+            continue;
+        if (arg == "--seed" || arg == "--json" || arg == "--postmortem") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "chaos_stress: %s requires a value\n",
+                             arg.c_str());
+                return false;
+            }
+            ++i;
+            continue;
+        }
+        std::fprintf(stderr, "chaos_stress: unknown option '%s'\n",
+                     arg.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: chaos_stress [--quick] [--sweep] [--crash-sweep] "
+                 "[--seed N]\n"
+                 "                    [--json out.json] "
+                 "[--postmortem bundle.json]\n");
 }
 
 }  // namespace
@@ -221,8 +343,13 @@ sweep_mode(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
+    if (!validate_args(argc, argv)) {
+        usage();
+        return 2;
+    }
     bool quick = bench::quick_mode(argc, argv);
-    bool sweep = sweep_mode(argc, argv);
+    bool sweep = flag_set(argc, argv, "--sweep");
+    bool crash_sweep = flag_set(argc, argv, "--crash-sweep");
     int ops = quick ? 400 : 4000;
     std::string seed_arg = bench::arg_value(argc, argv, "--seed");
     std::uint64_t seed =
@@ -232,7 +359,13 @@ main(int argc, char **argv)
 
     BenchReport report("chaos_stress", argc, argv);
     int rc = 0;
-    if (sweep) {
+    if (crash_sweep) {
+        std::printf("chaos_stress: exhaustive crash-point recovery sweep "
+                    "(seed %llu)\n",
+                    static_cast<unsigned long long>(seed));
+        for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm})
+            rc |= run_crash_sweep(report, arch, quick, seed, postmortem);
+    } else if (sweep) {
         std::printf("chaos_stress: systematic fault-point sweep "
                     "(seed %llu)\n",
                     static_cast<unsigned long long>(seed));

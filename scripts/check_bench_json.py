@@ -26,7 +26,7 @@ COST_KINDS = {
     "compute", "api", "perm_reg", "syscall", "tlb_miss", "tlb_flush",
     "tlb_shootdown", "busy_wait", "eviction", "pgd_switch", "migration",
     "mem_sync", "fault", "context_switch", "vm_exit", "vm_overhead",
-    "io", "idle",
+    "io", "idle", "wal",
 }
 
 REQUIRED_KEYS = ("bench", "config", "metrics", "breakdown", "percentiles")

@@ -87,6 +87,31 @@ cmp results/sweep_run1.json results/sweep_run2.json
 rm -f results/sweep_run1.json results/sweep_run2.json
 echo "chaos_stress --sweep: zero violations, two seeded runs byte-identical"
 
+# Crash-point recovery sweep gate: power-fail at every durable ordering
+# point of every scripted op on both architectures, recover from the WAL,
+# and require the recovered world to land exactly on a committed-op
+# boundary (snapshot + invariants + PMO content + access verdicts).  The
+# JSON embeds the order-dependent sweep digest, so cmp proves the whole
+# crash/recover/verify sequence is deterministic.  The bundle is only
+# written on the first violation; its absence is the passing state.
+echo "== chaos_stress crash-point recovery sweep =="
+./build/bench/chaos_stress --crash-sweep $QUICK \
+    --json results/crash_sweep_run1.json \
+    --postmortem results/crash_postmortem.json | tee results/crash_sweep.txt
+./build/bench/chaos_stress --crash-sweep $QUICK \
+    --json results/crash_sweep_run2.json \
+    --postmortem results/crash_postmortem.json > /dev/null 2>&1
+cmp results/crash_sweep_run1.json results/crash_sweep_run2.json
+mv results/crash_sweep_run1.json results/json/crash_sweep.json
+rm -f results/crash_sweep_run2.json
+python3 scripts/check_bench_json.py results/json/crash_sweep.json
+echo "chaos_stress --crash-sweep: every crash point recovered, digest stable"
+
+# Inspector hardening: corrupt/truncated bundles must die with a one-line
+# diagnosis, never a traceback.
+python3 scripts/test_vdom_inspect.py > /dev/null
+echo "vdom_inspect: corrupt-bundle handling ok"
+
 # PR5 perf snapshot: distill the host-time microbenchmarks into one
 # repo-root document (ns/op and derived items/s per case) so the
 # data-structure overhaul's effect is diffable across checkouts.

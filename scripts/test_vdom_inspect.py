@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Checks for vdom_inspect.py's corrupt-bundle handling.
+
+Pytest-style (plain asserts, test_* functions) but runnable directly:
+`python3 scripts/test_vdom_inspect.py`.  Stdlib only.
+
+Every malformed input must produce a nonzero exit and a ONE-LINE
+diagnosis on stderr/stdout — never a Python traceback.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "vdom_inspect.py")
+
+GOOD_BUNDLE = {
+    "bundle": "vdom_postmortem",
+    "version": 1,
+    "reason": "test",
+    "context": {"seed": 7},
+    "flight": {
+        "total": 1, "dropped": 0, "omitted": 0, "last_flow": 1,
+        "cores": 1, "per_core_capacity": 16,
+        "records": [
+            {"seq": 1, "core": 0, "ts": 10, "kind": "shootdown_issue",
+             "flow": 1, "a": 1, "b": 0},
+        ],
+    },
+    "metrics": {"vdom.allocs": 3},
+}
+
+
+def run_inspect(*argv):
+    return subprocess.run(
+        [sys.executable, SCRIPT, *argv],
+        capture_output=True, text=True, timeout=60)
+
+
+def inspect_file(content, mode="w"):
+    with tempfile.NamedTemporaryFile(mode, suffix=".json",
+                                     delete=False) as f:
+        f.write(content)
+        path = f.name
+    try:
+        return run_inspect(path)
+    finally:
+        os.unlink(path)
+
+
+def assert_diagnosed(proc, label):
+    err = proc.stdout + proc.stderr
+    assert proc.returncode != 0, f"{label}: expected nonzero exit"
+    assert "Traceback" not in err, f"{label}: leaked a traceback:\n{err}"
+    diagnosis = proc.stderr.strip()
+    assert diagnosis, f"{label}: no diagnosis printed"
+    assert len(diagnosis.splitlines()) == 1, \
+        f"{label}: diagnosis is not one line:\n{diagnosis}"
+
+
+def test_good_bundle_renders():
+    proc = inspect_file(json.dumps(GOOD_BUNDLE))
+    assert proc.returncode == 0, proc.stderr
+    assert "VDom post-mortem bundle" in proc.stdout
+    assert "shootdown_issue" in proc.stdout
+
+
+def test_missing_file():
+    proc = run_inspect("/nonexistent/bundle.json")
+    assert_diagnosed(proc, "missing file")
+
+
+def test_directory_instead_of_file():
+    proc = run_inspect(tempfile.gettempdir())
+    assert_diagnosed(proc, "directory")
+
+
+def test_empty_file():
+    proc = inspect_file("")
+    assert_diagnosed(proc, "empty file")
+
+
+def test_truncated_json():
+    whole = json.dumps(GOOD_BUNDLE)
+    proc = inspect_file(whole[:len(whole) // 2])
+    assert_diagnosed(proc, "truncated JSON")
+    assert "truncated or corrupt JSON" in proc.stderr
+
+
+def test_binary_garbage():
+    proc = inspect_file(b"\x00\xff\xfe\x01vdom\x80\x81", mode="wb")
+    assert_diagnosed(proc, "binary garbage")
+
+
+def test_wrong_marker():
+    proc = inspect_file(json.dumps({"bundle": "something_else"}))
+    assert_diagnosed(proc, "wrong marker")
+    assert "not a vdom_postmortem bundle" in proc.stderr
+
+
+def test_non_object_top_level():
+    proc = inspect_file(json.dumps([1, 2, 3]))
+    assert_diagnosed(proc, "non-object top level")
+
+
+def test_mangled_section():
+    # Valid JSON and marker, but the flight section is the wrong shape —
+    # a writer that died mid-bundle.
+    bad = dict(GOOD_BUNDLE, flight={"records": "not-a-list"})
+    proc = inspect_file(json.dumps(bad))
+    assert_diagnosed(proc, "mangled flight section")
+    assert "malformed bundle" in proc.stderr
+
+
+def test_record_missing_fields():
+    bad = json.loads(json.dumps(GOOD_BUNDLE))
+    bad["flight"]["records"] = [{"kind": "orphan"}]
+    proc = inspect_file(json.dumps(bad))
+    assert_diagnosed(proc, "record missing fields")
+
+
+def main():
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"ok   {name}")
+        except AssertionError as e:
+            failed += 1
+            print(f"FAIL {name}: {e}")
+    print(f"{len(tests) - failed}/{len(tests)} passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,8 +26,22 @@ SPAN_KINDS = {"span_begin": "B", "span_end": "E", "span_instant": "i"}
 
 
 def load_bundle(path):
-    with open(path) as f:
-        doc = json.load(f)
+    """Loads and sanity-checks a bundle, exiting with a one-line
+    diagnosis (never a traceback) on missing, truncated, or corrupt
+    input — bundles are often pulled off dying CI runners mid-write."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"{path}: cannot read bundle: {e.strerror or e}")
+    except UnicodeDecodeError:
+        sys.exit(f"{path}: not a text bundle (binary or wrong encoding)")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: truncated or corrupt JSON "
+                 f"(line {e.lineno} col {e.colno}: {e.msg})")
+    if not isinstance(doc, dict):
+        sys.exit(f"{path}: not a bundle object "
+                 f"(top level is {type(doc).__name__})")
     if doc.get("bundle") != "vdom_postmortem":
         sys.exit(f"{path}: not a vdom_postmortem bundle")
     return doc
@@ -193,9 +207,16 @@ def main():
                         help="flight records to print (0 = all; default 40)")
     args = parser.parse_args()
     doc = load_bundle(args.bundle)
-    print_report(doc, args.last)
-    if args.trace:
-        write_trace(doc, args.trace)
+    # A bundle can parse as JSON yet still be structurally mangled (a
+    # writer died mid-section); surface that as a diagnosis, not a
+    # traceback.
+    try:
+        print_report(doc, args.last)
+        if args.trace:
+            write_trace(doc, args.trace)
+    except (KeyError, TypeError, AttributeError, ValueError) as e:
+        sys.exit(f"{args.bundle}: malformed bundle section "
+                 f"({type(e).__name__}: {e})")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "sim/rng.h"
 #include "sim/thread.h"
 
@@ -138,6 +139,83 @@ run_pmo(hw::Machine &machine, kernel::Process &proc, Strategy &strategy,
                   static_cast<double>(result.completed)
             : 0;
     return result;
+}
+
+PmoAttachResult
+pmo_attach(VdomSystem &sys, hw::Core &core, PmoStore &store, int pmo,
+           std::size_t pages, std::uint64_t seed)
+{
+    PmoAttachResult out;
+    if (!sys.initialized() || pages == 0 || store.has(pmo)) {
+        out.status = VdomStatus::kInvalidRange;
+        return out;
+    }
+    kernel::MmStruct &mm = sys.process().mm();
+    // WAL intent before any durable effect; the inner vdom_alloc and
+    // vdom_mprotect logging nests away under this record.
+    kernel::WalTxn wtxn(mm.wal(), core, kernel::WalOp::kPmoAttach, 0,
+                        static_cast<std::uint64_t>(pmo), pages, seed);
+    kernel::ScopedTxn txn(mm.journal(), core, 0, "pmo_attach");
+    hw::Vpn base = mm.mmap(pages);
+    VdomId vdom = sys.vdom_alloc(core, false);
+    if (vdom == kInvalidVdom) {
+        out.status = VdomStatus::kResourceExhausted;
+        return out;  // Rollback unwinds the mmap; WalTxn seals an ABORT.
+    }
+    // vdom_alloc has no journal undo of its own (it is a single step);
+    // inside this compound op a graceful failure below must not leak it.
+    kernel::Vdm *vdm = &mm.vdm();
+    mm.journal().record([vdm, vdom] { vdm->free(vdom); });
+    VdomStatus st = sys.vdom_mprotect(core, base, pages, vdom);
+    if (st != VdomStatus::kOk) {
+        out.status = st;
+        return out;
+    }
+    // Persist the object's content page by page *before* the COMMIT: a
+    // power loss mid-stream leaves a torn store entry that recovery must
+    // erase (the undo half of the redo/undo log).  A graceful rollback
+    // erases it in place.
+    PmoStore *sp = &store;
+    mm.journal().record([sp, pmo] { sp->content.erase(pmo); });
+    std::vector<std::uint64_t> &content = store.content[pmo];
+    const hw::CostTable &costs = core.costs();
+    for (std::size_t i = 0; i < pages; ++i) {
+        mm.fault_in(core, *mm.vds0(), base + i);
+        // Each page persist is an ordering point (and a crash point).
+        (void)sim::fault_fires(sim::FaultSite::kCrash);
+        content.push_back(PmoStore::pattern(pmo, seed, i));
+        core.charge(hw::CostKind::kWal, costs.wal_append);
+    }
+    core.charge(hw::CostKind::kWal, costs.wal_flush);
+    txn.commit();
+    wtxn.commit(vdom, base);
+    out.status = VdomStatus::kOk;
+    out.vdom = vdom;
+    out.base = base;
+    return out;
+}
+
+VdomStatus
+pmo_detach(VdomSystem &sys, hw::Core &core, PmoStore &store, int pmo,
+           VdomId vdom)
+{
+    if (!store.has(pmo))
+        return VdomStatus::kInvalidRange;
+    kernel::MmStruct &mm = sys.process().mm();
+    kernel::WalTxn wtxn(mm.wal(), core, kernel::WalOp::kPmoDetach, 0,
+                        static_cast<std::uint64_t>(pmo), vdom);
+    VdomStatus st = sys.vdom_free(core, vdom);
+    if (st != VdomStatus::kOk)
+        return st;  // WalTxn seals an ABORT; the store is untouched.
+    wtxn.commit();
+    // The durable erase is ordered strictly after the COMMIT: a crash
+    // right here is finished by recovery redoing the (idempotent) erase,
+    // whereas erasing first could lose content of an op that never
+    // committed.
+    (void)sim::fault_fires(sim::FaultSite::kCrash);
+    store.content.erase(pmo);
+    core.charge(hw::CostKind::kWal, core.costs().wal_flush);
+    return VdomStatus::kOk;
 }
 
 }  // namespace vdom::apps

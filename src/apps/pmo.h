@@ -14,11 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "apps/strategy.h"
 #include "hw/machine.h"
 #include "kernel/process.h"
+#include "vdom/api.h"
 
 namespace vdom::apps {
 
@@ -60,5 +62,66 @@ struct PmoResult {
 /// Runs the PMO model under \p strategy.
 PmoResult run_pmo(hw::Machine &machine, kernel::Process &proc,
                   Strategy &strategy, const PmoConfig &config);
+
+// -- Crash-consistent PMO attach/detach -----------------------------------
+
+/// Durable persistent-memory contents, one word per page.  Like the WAL
+/// (kernel/wal.h) the store models the NVDIMM itself: it is owned by the
+/// harness/test and survives a simulated reboot, while the mapping that
+/// points at it does not.  Attach writes content *before* its WAL COMMIT
+/// (so recovery must undo a torn attach); detach erases content *after*
+/// its COMMIT (so recovery redoes an interrupted erase, idempotently).
+struct PmoStore {
+    std::map<int, std::vector<std::uint64_t>> content;
+
+    bool has(int pmo) const { return content.count(pmo) != 0; }
+
+    /// The seed-derived word persisted for \p page of \p pmo; integrity
+    /// checks recompute it, so torn content is detectable per page.
+    static std::uint64_t
+    pattern(int pmo, std::uint64_t seed, std::size_t page)
+    {
+        std::uint64_t h =
+            seed ^ (0x9e3779b97f4a7c15ULL *
+                    static_cast<std::uint64_t>(pmo + 1));
+        h ^= static_cast<std::uint64_t>(page) + 0x632be59bd9b4e019ULL;
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+        return h;
+    }
+
+    /// True when \p pmo holds complete, untorn content for \p pages.
+    bool
+    intact(int pmo, std::uint64_t seed, std::size_t pages) const
+    {
+        auto it = content.find(pmo);
+        if (it == content.end() || it->second.size() != pages)
+            return false;
+        for (std::size_t i = 0; i < pages; ++i) {
+            if (it->second[i] != pattern(pmo, seed, i))
+                return false;
+        }
+        return true;
+    }
+};
+
+/// Outcome of pmo_attach.
+struct PmoAttachResult {
+    VdomStatus status = VdomStatus::kOk;
+    VdomId vdom = kInvalidVdom;  ///< Domain protecting the PMO.
+    hw::Vpn base = 0;            ///< First page of the mapping.
+};
+
+/// Maps a \p pages PMO, protects it under a fresh domain and persists its
+/// seed-derived content into \p store — atomically across both graceful
+/// faults (undo journal) and power loss (WAL intent + recovery undo).
+PmoAttachResult pmo_attach(VdomSystem &sys, hw::Core &core, PmoStore &store,
+                           int pmo, std::size_t pages, std::uint64_t seed);
+
+/// Frees the PMO's domain and erases its durable content.  The erase is
+/// ordered strictly after the WAL COMMIT so a crash in between is
+/// finished by recovery instead of losing content of a live PMO.
+VdomStatus pmo_detach(VdomSystem &sys, hw::Core &core, PmoStore &store,
+                      int pmo, VdomId vdom);
 
 }  // namespace vdom::apps

@@ -59,6 +59,8 @@ default_costs(ArchKind kind)
         c.pkey_set = 102.0;          // Table 4: libmpk seq, <=15 vdoms.
         c.mprotect_base = 250.0;
         c.busy_wait_spin = 200.0;
+        c.wal_append = 90.0;         // NVDIMM-style cacheline persist (CLWB).
+        c.wal_flush = 450.0;         // SFENCE + ADR drain ordering point.
         return c;
     }
     CostTable c{};
@@ -96,6 +98,8 @@ default_costs(ArchKind kind)
                                      // (DACR writes are privileged).
     c.mprotect_base = 400.0;
     c.busy_wait_spin = 300.0;
+    c.wal_append = 150.0;            // DC CVAP persist on Cortex-A class.
+    c.wal_flush = 800.0;             // DSB-ordered persist barrier.
     return c;
 }
 

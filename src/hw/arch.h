@@ -94,6 +94,10 @@ struct CostTable {
     Cycles pkey_set;            ///< libmpk user-space pkey_set path.
     Cycles mprotect_base;       ///< mprotect syscall fixed cost (libmpk path).
     Cycles busy_wait_spin;      ///< One busy-wait poll iteration (libmpk).
+
+    // --- crash consistency (kernel/wal.h) ----------------------------------
+    Cycles wal_append;          ///< Persist one WAL record (cacheline write).
+    Cycles wal_flush;           ///< Durability barrier sealing a record.
 };
 
 /// Returns the calibrated cost table for \p kind.

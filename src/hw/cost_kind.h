@@ -35,6 +35,7 @@ enum class CostKind : std::uint8_t {
     kVmOverhead,     ///< VM execution tax (nested paging, virtual IO).
     kIo,             ///< Device/network IO service time.
     kIdle,           ///< Waiting for work (closed-loop client starvation).
+    kWal,            ///< Write-ahead-log persists + ordering barriers.
     kNumKinds,
 };
 
@@ -64,6 +65,7 @@ cost_kind_name(CostKind kind)
       case CostKind::kVmOverhead: return "vm_overhead";
       case CostKind::kIo: return "io";
       case CostKind::kIdle: return "idle";
+      case CostKind::kWal: return "wal";
       case CostKind::kNumKinds: break;
     }
     return "?";

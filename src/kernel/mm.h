@@ -21,6 +21,7 @@
 #include "hw/page_table.h"
 #include "kernel/journal.h"
 #include "kernel/shootdown.h"
+#include "kernel/wal.h"
 #include "kernel/vdm.h"
 #include "kernel/vds.h"
 #include "kernel/vma.h"
@@ -41,6 +42,15 @@ class MmStruct {
     /// The process-wide undo log (kernel/journal.h).  Ops open a
     /// ScopedTxn on it; mutators below record inverses when it is active.
     Journal &journal() { return journal_; }
+
+    /// The attached write-ahead log, or nullptr (the default).  The Wal
+    /// is the durable medium and is owned by whoever simulates the
+    /// "NVDIMM" (harness or test), outliving this process across a
+    /// simulated reboot.  Every logging site is a no-op when detached,
+    /// so unattached runs stay cycle-identical.
+    Wal *wal() { return wal_; }
+    void set_wal(Wal *wal) { wal_ = wal; }
+
     VmaTree &vmas() { return vmas_; }
     const VmaTree &vmas() const { return vmas_; }
     hw::PageTable &shadow() { return shadow_; }
@@ -126,6 +136,7 @@ class MmStruct {
     const hw::ArchParams *params_;
     ShootdownManager *shootdown_;
     Journal journal_;
+    Wal *wal_ = nullptr;
     Vdm vdm_;
     VmaTree vmas_;
     hw::PageTable shadow_;

@@ -92,16 +92,25 @@ class ShootdownManager {
                 continue;
             hw::Core &target = machine_->core(c);
             // An injected IPI drop times out on the initiator, which
-            // re-posts with linearly growing backoff.  Delivery is
-            // guaranteed within kMaxIpiRetries: after the last drop the
-            // re-post below goes through unconditionally.
+            // re-posts with capped exponential backoff (1x, 2x, 4x, ...
+            // up to 2^kMaxBackoffShift x ipi_wait): colliding initiators
+            // de-synchronize instead of re-posting in lockstep, and the
+            // deterministic doubling keeps replays bit-identical.
+            // Delivery is guaranteed within kMaxIpiRetries: after the
+            // last drop the re-post below goes through unconditionally.
             for (int attempt = 1;
                  attempt <= kMaxIpiRetries &&
                  sim::fault_fires(sim::FaultSite::kIpiDrop);
                  ++attempt) {
+                hw::Cycles backoff =
+                    costs.ipi_wait *
+                    static_cast<hw::Cycles>(
+                        1ULL << std::min(attempt - 1, kMaxBackoffShift));
                 initiator.charge(hw::CostKind::kShootdown,
-                                 costs.ipi_post + costs.ipi_wait *
-                                     static_cast<hw::Cycles>(attempt));
+                                 costs.ipi_post + backoff);
+                telemetry::metric_observe(
+                    telemetry::Metric::kShootdownBackoff,
+                    static_cast<std::uint64_t>(backoff), initiator.id());
                 ++retries;
                 telemetry::metric_add(
                     telemetry::Metric::kShootdownRetries, 1,
@@ -188,6 +197,10 @@ class ShootdownManager {
     /// Re-post budget per target; the delivery after the last retry
     /// always succeeds, so a shootdown can never hang.
     static constexpr int kMaxIpiRetries = 4;
+
+    /// Exponential-backoff cap: retry waits grow 1x, 2x, 4x, ... and
+    /// saturate at 2^kMaxBackoffShift x ipi_wait.
+    static constexpr int kMaxBackoffShift = 3;
 
     void
     apply_flush(hw::Core &core, FlushKind kind, hw::Asid asid, hw::Vpn vpn,

@@ -4,13 +4,20 @@
 #include "sim/chaos.h"
 
 #include <algorithm>
+#include <map>
 #include <optional>
 
+#include "apps/httpd.h"
+#include "apps/mysql.h"
+#include "apps/strategy.h"
 #include "kernel/asid.h"
 #include "sim/rng.h"
 #include "telemetry/metrics.h"
 #include "telemetry/postmortem.h"
 #include "vdom/introspect.h"
+#include "vdom/recovery.h"
+#include "vdom/sandbox.h"
+#include "vdom/secure_alloc.h"
 
 namespace vdom::sim {
 
@@ -738,6 +745,687 @@ SweepHarness::run()
                     run_injection(script, i, site, k, true, result);
             }
         }
+    }
+    return result;
+}
+
+// --- CrashSweepHarness ---------------------------------------------------
+
+/// One scripted operation.  Domain/region fields index the World's
+/// append-only `doms`/`regions` vectors; every op commits at most one WAL
+/// transaction, which is what keeps the recovery oracle binary (the
+/// durable state is golden[i] when op i committed, golden[i-1] otherwise
+/// — never anything in between).
+struct CrashSweepHarness::Op {
+    enum class Kind : std::uint8_t {
+        kInit,            ///< vdom_init
+        kVdrAlloc,        ///< vdr_alloc(nas = pages)
+        kVdrFree,         ///< vdr_free
+        kMmap,            ///< mm.mmap(pages) under a harness WAL intent
+        kAlloc,           ///< vdom_alloc(frequent) — appends a dom
+        kMprotect,        ///< vdom_mprotect(regions[region], doms[dom])
+        kWrvdr,           ///< wrvdr(doms[dom], perm)
+        kAccess,          ///< access(regions[region], write) + oracle
+        kFreeDom,         ///< vdom_free(doms[dom])
+        kArena,           ///< DomainAllocator ctor (one vdom_alloc txn)
+        kSecureAlloc,     ///< arena allocate forcing one pool growth
+        kSandboxMprotect, ///< Sandbox::sandbox_mprotect
+        kPmoAttach,       ///< apps::pmo_attach(pmo, pages, seed)
+        kPmoDetach,       ///< apps::pmo_detach(pmo)
+    };
+
+    Kind kind = Kind::kInit;
+    std::size_t task = 0;    ///< Acting thread (thread-scoped ops).
+    std::size_t dom = 0;     ///< Index into World::doms.
+    std::size_t region = 0;  ///< Index into World::regions.
+    std::uint64_t pages = 0; ///< Page count / nas budget / PMO size.
+    VPerm perm = VPerm::kFullAccess;
+    bool write = false;
+    bool frequent = false;
+    int pmo = 0;             ///< PMO object id.
+    std::uint64_t seed = 0;  ///< PMO content seed.
+
+    static const char *name(Kind kind);
+};
+
+/// A fresh simulated world, rebuilt for every crash/reboot cycle.  The
+/// durable media (WAL, PmoStore) live in the harness, not here.
+struct CrashSweepHarness::World {
+    hw::ArchParams params;
+    std::unique_ptr<hw::Machine> machine;
+    std::unique_ptr<kernel::Process> proc;
+    std::unique_ptr<VdomSystem> sys;
+    std::vector<kernel::Task *> tasks;
+    std::vector<VdomId> doms;
+    std::vector<std::pair<hw::Vpn, std::uint64_t>> regions;
+    std::unique_ptr<DomainAllocator> arena;
+    std::unique_ptr<Sandbox> sandbox;
+    std::map<int, VdomId> pmos;  ///< Attached PMO -> protecting vdom.
+};
+
+/// Probe-pass golden state after each script op: the durable snapshot a
+/// recovered world must reproduce, the WAL commit count that selects it,
+/// and the PMO objects the store must hold intact.
+struct CrashSweepHarness::Golden {
+    std::string durable;
+    std::uint64_t commits = 0;
+    /// pmo -> (pages, seed) expected durable at this boundary.
+    std::map<int, std::pair<std::uint64_t, std::uint64_t>> pmos;
+};
+
+const char *
+CrashSweepHarness::Op::name(Kind kind)
+{
+    switch (kind) {
+      case Kind::kInit: return "vdom_init";
+      case Kind::kVdrAlloc: return "vdr_alloc";
+      case Kind::kVdrFree: return "vdr_free";
+      case Kind::kMmap: return "mmap";
+      case Kind::kAlloc: return "vdom_alloc";
+      case Kind::kMprotect: return "vdom_mprotect";
+      case Kind::kWrvdr: return "wrvdr";
+      case Kind::kAccess: return "access";
+      case Kind::kFreeDom: return "vdom_free";
+      case Kind::kArena: return "arena_create";
+      case Kind::kSecureAlloc: return "secure_alloc";
+      case Kind::kSandboxMprotect: return "sandbox_mprotect";
+      case Kind::kPmoAttach: return "pmo_attach";
+      case Kind::kPmoDetach: return "pmo_detach";
+    }
+    return "?";
+}
+
+CrashSweepHarness::CrashSweepHarness(const CrashSweepConfig &config)
+    : config_(config), flight_(config.cores, config.flight_per_core)
+{
+}
+
+CrashSweepHarness::~CrashSweepHarness() = default;
+
+std::unique_ptr<CrashSweepHarness::World>
+CrashSweepHarness::build_world(kernel::Wal *wal) const
+{
+    // Same-config worlds must be bit-identical — replay determinism is
+    // what lets recovery reconverge on recorded ids and addresses.
+    kernel::reset_unique_asids();
+    kernel::Vds::reset_ctx_ids();
+    auto w = std::make_unique<World>();
+    w->params = config_.arch == hw::ArchKind::kX86
+                    ? hw::ArchParams::x86(config_.cores)
+                    : hw::ArchParams::arm(config_.cores);
+    w->machine = std::make_unique<hw::Machine>(w->params);
+    w->proc = std::make_unique<kernel::Process>(*w->machine);
+    w->sys = std::make_unique<VdomSystem>(*w->proc);
+    for (std::size_t t = 0; t < config_.threads; ++t)
+        w->tasks.push_back(w->proc->create_task());
+    w->proc->mm().set_wal(wal);
+    return w;
+}
+
+std::vector<CrashSweepHarness::Op>
+CrashSweepHarness::make_script() const
+{
+    using Kind = Op::Kind;
+    std::vector<Op> ops;
+    std::size_t d = config_.domains;
+
+    // Deterministic prologue: bring-up, one protected region per domain,
+    // and faulted-in pages so later retags cover present PTEs.
+    ops.push_back({.kind = Kind::kInit});
+    for (std::size_t t = 0; t < config_.threads; ++t)
+        ops.push_back({.kind = Kind::kVdrAlloc, .task = t,
+                       .pages = 2 + t % 2});
+    for (std::size_t i = 0; i < d; ++i)
+        ops.push_back({.kind = Kind::kAlloc, .frequent = i % 3 == 0});
+    for (std::size_t i = 0; i < d; ++i)
+        ops.push_back({.kind = Kind::kMmap, .pages = 1 + i % 2});
+    for (std::size_t i = 0; i < d; ++i)
+        ops.push_back({.kind = Kind::kMprotect, .dom = i, .region = i});
+    ops.push_back({.kind = Kind::kAccess, .task = 0, .write = true});
+    ops.push_back({.kind = Kind::kAccess, .task = 1 % config_.threads,
+                   .region = d > 1 ? 1 : 0});
+
+    // The other WAL-covered entry points: secure-pool growth (the arena
+    // ctor allocates the vdom, the first allocate grows the pool) and the
+    // sandbox mprotect facade over a fresh region.
+    ops.push_back({.kind = Kind::kArena});
+    ops.push_back({.kind = Kind::kSecureAlloc});
+    ops.push_back({.kind = Kind::kMmap, .pages = 1});  // regions[d]
+    ops.push_back({.kind = Kind::kSandboxMprotect, .dom = 0, .region = d});
+
+    // Seeded churn: grants, revokes, accesses, VDR recycling.
+    Rng rng(config_.seed ^ 0xa0761d6478bd642fULL);
+    std::size_t nregions = d + 1;
+    for (int i = 0; i < config_.churn_ops; ++i) {
+        std::size_t t = rng.below(config_.threads);
+        switch (rng.below(6)) {
+          case 0:
+          case 1:
+            ops.push_back({.kind = Kind::kWrvdr, .task = t,
+                           .dom = rng.below(d),
+                           .perm = VPerm::kFullAccess});
+            break;
+          case 2:
+            ops.push_back({.kind = Kind::kWrvdr, .task = t,
+                           .dom = rng.below(d),
+                           .perm = VPerm::kAccessDisable});
+            break;
+          case 3:
+          case 4:
+            ops.push_back({.kind = Kind::kAccess, .task = t,
+                           .region = rng.below(nregions),
+                           .write = rng.below(2) != 0});
+            break;
+          case 5:
+            ops.push_back({.kind = Kind::kVdrFree, .task = t});
+            ops.push_back({.kind = Kind::kVdrAlloc, .task = t,
+                           .pages = 2});
+            break;
+        }
+    }
+
+    // Epilogue: the PMO attach/detach durability pair (attach writes
+    // content before COMMIT, detach erases after), then free of a domain
+    // that reached a VDS.
+    ops.push_back({.kind = Kind::kPmoAttach, .pages = 2, .pmo = 1,
+                   .seed = config_.seed + 0x11});
+    ops.push_back({.kind = Kind::kPmoAttach, .pages = 3, .pmo = 2,
+                   .seed = config_.seed + 0x23});
+    ops.push_back({.kind = Kind::kPmoDetach, .pmo = 1});
+    ops.push_back({.kind = Kind::kWrvdr, .task = 0, .dom = d - 1,
+                   .perm = VPerm::kAccessDisable});
+    ops.push_back({.kind = Kind::kFreeDom, .dom = d - 1});
+    return ops;
+}
+
+void
+CrashSweepHarness::prepare(World &w, const Op &op) const
+{
+    // Thread-scoped ops act from their task's core; the switch itself is
+    // outside the armed window (the sweep targets the API op).
+    switch (op.kind) {
+      case Op::Kind::kVdrAlloc:
+      case Op::Kind::kVdrFree:
+      case Op::Kind::kWrvdr:
+      case Op::Kind::kAccess: {
+        hw::Core &core = w.machine->core(op.task % config_.cores);
+        w.proc->switch_to(core, *w.tasks[op.task], false);
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+VdomStatus
+CrashSweepHarness::perform(World &w, const Op &op, bool *verdict_ok)
+{
+    hw::Core &core0 = w.machine->core(0);
+    switch (op.kind) {
+      case Op::Kind::kInit:
+        return w.sys->vdom_init(core0);
+      case Op::Kind::kVdrAlloc:
+        return w.sys->vdr_alloc(w.machine->core(op.task % config_.cores),
+                                *w.tasks[op.task], op.pages);
+      case Op::Kind::kVdrFree:
+        return w.sys->vdr_free(w.machine->core(op.task % config_.cores),
+                               *w.tasks[op.task]);
+      case Op::Kind::kMmap: {
+        // MmStruct::mmap has no core to charge through, so the script
+        // logs the mapping intent itself — the shape an allocating
+        // runtime would use.
+        kernel::WalTxn wtxn(w.proc->mm().wal(), core0,
+                            kernel::WalOp::kMmap, 0, op.pages, 0);
+        hw::Vpn vpn = w.proc->mm().mmap(op.pages);
+        w.regions.emplace_back(vpn, op.pages);
+        wtxn.commit(vpn);
+        return VdomStatus::kOk;
+      }
+      case Op::Kind::kAlloc: {
+        VdomId v = w.sys->vdom_alloc(core0, op.frequent);
+        w.doms.push_back(v);
+        return v == kInvalidVdom ? VdomStatus::kResourceExhausted
+                                 : VdomStatus::kOk;
+      }
+      case Op::Kind::kMprotect: {
+        auto [vpn, pages] = w.regions[op.region];
+        return w.sys->vdom_mprotect(core0, vpn, pages, w.doms[op.dom]);
+      }
+      case Op::Kind::kWrvdr:
+        return w.sys->wrvdr(w.machine->core(op.task % config_.cores),
+                            *w.tasks[op.task], w.doms[op.dom], op.perm);
+      case Op::Kind::kAccess: {
+        kernel::Task &task = *w.tasks[op.task];
+        hw::Core &core = w.machine->core(op.task % config_.cores);
+        hw::Vpn vpn = w.regions[op.region].first;
+        VdomId vd = w.proc->mm().vdom_of(vpn);
+        const Vdr *vdr = task.vdr();
+        VPerm held = vdr ? vdr->get(vd) : VPerm::kAccessDisable;
+        bool allowed =
+            vd == kCommonVdom ||
+            (op.write ? held == VPerm::kFullAccess : vperm_active(held));
+        VAccess res = w.sys->access(core, task, vpn, op.write);
+        if (verdict_ok)
+            *verdict_ok = res.ok == allowed;
+        return VdomStatus::kOk;
+      }
+      case Op::Kind::kFreeDom:
+        return w.sys->vdom_free(core0, w.doms[op.dom]);
+      case Op::Kind::kArena: {
+        w.arena =
+            std::make_unique<DomainAllocator>(*w.sys, core0, false, 2);
+        return w.arena->domain() == kInvalidVdom
+                   ? VdomStatus::kResourceExhausted
+                   : VdomStatus::kOk;
+      }
+      case Op::Kind::kSecureAlloc: {
+        // First allocation after the ctor: the pool is empty, so this
+        // always takes exactly one kSecureGrow transaction.
+        SecureAllocation a = w.arena->allocate(core0, 64);
+        return a.ok() ? VdomStatus::kOk : w.arena->last_status();
+      }
+      case Op::Kind::kSandboxMprotect: {
+        if (!w.sandbox)
+            w.sandbox = std::make_unique<Sandbox>(*w.sys);
+        auto [vpn, pages] = w.regions[op.region];
+        return w.sandbox->sandbox_mprotect(core0, vpn, pages,
+                                           w.doms[op.dom]);
+      }
+      case Op::Kind::kPmoAttach: {
+        apps::PmoAttachResult r = apps::pmo_attach(
+            *w.sys, core0, store_, op.pmo, op.pages, op.seed);
+        if (r.status == VdomStatus::kOk)
+            w.pmos[op.pmo] = r.vdom;
+        return r.status;
+      }
+      case Op::Kind::kPmoDetach: {
+        auto it = w.pmos.find(op.pmo);
+        if (it == w.pmos.end())
+            return VdomStatus::kInvalidRange;
+        VdomStatus st =
+            apps::pmo_detach(*w.sys, core0, store_, op.pmo, it->second);
+        if (st == VdomStatus::kOk)
+            w.pmos.erase(it);
+        return st;
+      }
+    }
+    return VdomStatus::kOk;
+}
+
+void
+CrashSweepHarness::fold(CrashSweepResult &result,
+                        const std::string &line) const
+{
+    // Order-dependent chain (same shape as the fault sweep's): reordered
+    // runs cannot collide to the same digest.
+    result.digest ^= snapshot_hash(line);
+    result.digest *= 1099511628211ULL;
+}
+
+void
+CrashSweepHarness::record_violation(CrashSweepResult &result, World *world,
+                                    const FaultPlan *plan,
+                                    const std::string &what)
+{
+    ++result.violations;
+    if (!result.first_violation.empty())
+        return;
+    result.first_violation = what;
+    if (config_.postmortem_path.empty() || world == nullptr)
+        return;
+    telemetry::PostmortemInfo info;
+    info.reason = "crash sweep violation: " + what;
+    info.context.emplace_back("arch", hw::arch_name(config_.arch));
+    info.context.emplace_back("seed", std::to_string(config_.seed));
+    info.context.emplace_back("cores", std::to_string(config_.cores));
+    info.flight = &flight_;
+    info.metrics = telemetry::metrics_sink();
+    info.plan = plan;
+    info.system = world->sys.get();
+    result.postmortem_written =
+        telemetry::export_postmortem(config_.postmortem_path, info);
+}
+
+void
+CrashSweepHarness::verify_recovered(World &w, const Golden &expect,
+                                    const std::string &label,
+                                    CrashSweepResult &result)
+{
+    // Durable-snapshot oracle first (the verdict sweep below mutates
+    // volatile state).
+    ++result.snapshot_checks;
+    const std::string after = snapshot_durable_state(*w.sys);
+    if (after != expect.durable) {
+        record_violation(result, &w, nullptr,
+                         label + ": recovered durable state diverged");
+        return;
+    }
+
+    std::string bad = check_design_invariants(*w.proc, w.params,
+                                              &result.invariant_checks);
+    if (!bad.empty()) {
+        record_violation(result, &w, nullptr, label + ": " + bad);
+        return;
+    }
+
+    // PMO content integrity: exactly the golden object set, every page
+    // matching its seed-derived pattern (torn attach content undone,
+    // interrupted detach erase redone).
+    ++result.pmo_checks;
+    if (store_.content.size() != expect.pmos.size()) {
+        record_violation(result, &w, nullptr,
+                         label + ": PMO store object set diverged");
+        return;
+    }
+    for (const auto &[pmo, shape] : expect.pmos) {
+        if (!store_.intact(pmo, shape.second, shape.first)) {
+            record_violation(result, &w, nullptr,
+                             label + ": PMO " + std::to_string(pmo) +
+                                 " content not intact");
+            return;
+        }
+    }
+
+    // Access-verdict oracle over the recovered world: every outcome must
+    // equal the replayed VDR policy (DESIGN.md invariant 1), from every
+    // thread, over every user VMA.
+    std::vector<hw::Vpn> starts;
+    for (const auto &[start, vma] : w.proc->mm().vmas()) {
+        if (vma.vdom != kApiVdom)
+            starts.push_back(start);
+    }
+    for (std::size_t t = 0; t < w.tasks.size(); ++t) {
+        kernel::Task &task = *w.tasks[t];
+        hw::Core &core = w.machine->core(t % config_.cores);
+        w.proc->switch_to(core, task, false);
+        for (hw::Vpn vpn : starts) {
+            VdomId vd = w.proc->mm().vdom_of(vpn);
+            const Vdr *vdr = task.vdr();
+            VPerm held = vdr ? vdr->get(vd) : VPerm::kAccessDisable;
+            bool allowed = vd == kCommonVdom || vperm_active(held);
+            VAccess res = w.sys->access(core, task, vpn, false);
+            if (res.ok != allowed) {
+                record_violation(
+                    result, &w, nullptr,
+                    label + ": recovered access verdict diverged (vpn " +
+                        std::to_string(vpn) + ")");
+                return;
+            }
+        }
+    }
+
+    fold(result, label + " recovered " +
+                     std::to_string(snapshot_hash(after)));
+}
+
+void
+CrashSweepHarness::run_injection(const std::vector<Op> &script,
+                                 const std::vector<Golden> &golden,
+                                 std::size_t i, std::uint64_t k,
+                                 CrashSweepResult &result)
+{
+    // Fresh durable media + fresh world; the prefix replays fault-free
+    // (only kCrash is ever armed, and only around the target op).
+    wal_.reset();
+    store_.content.clear();
+    auto w = build_world(&wal_);
+    for (std::size_t j = 0; j < i; ++j) {
+        prepare(*w, script[j]);
+        VdomStatus st = perform(*w, script[j], nullptr);
+        if (st != VdomStatus::kOk) {
+            record_violation(result, w.get(), nullptr,
+                             "prefix op " + std::to_string(j) +
+                                 " failed: " + status_name(st));
+            return;
+        }
+    }
+    const Op &op = script[i];
+    prepare(*w, op);
+
+    const std::string label =
+        "op " + std::to_string(i) + " (" + Op::name(op.kind) +
+        ") crash k=" + std::to_string(k) + " (seed " +
+        std::to_string(config_.seed) + ", " + hw::arch_name(config_.arch) +
+        ")";
+
+    FaultPlan plan(config_.seed);
+    plan.arm_exact(FaultSite::kCrash, k, false);
+    flight_.clear();
+    bool crashed = false;
+    {
+        ScopedFaults armed(plan);
+        std::optional<telemetry::ScopedFlightRecorder> recording;
+        if (config_.flight_per_core > 0)
+            recording.emplace(flight_);
+        try {
+            perform(*w, op, nullptr);
+        } catch (const PowerLoss &) {
+            crashed = true;
+        }
+    }
+    ++result.injected_runs;
+    if (!crashed) {
+        record_violation(result, w.get(), &plan,
+                         label + ": armed crash never fired");
+        return;
+    }
+
+    // Reboot: the crashed world is discarded wholesale; only the WAL and
+    // the PMO store survive.  The recovered world runs with no WAL
+    // attached (redo must not re-log) and no fault plan armed.
+    w.reset();
+    wal_.reboot();
+    auto fresh = build_world(nullptr);
+
+    RecoveryHook hook = [this](const kernel::WalCommitted &entry,
+                               bool committed) {
+        const kernel::WalRecord &b = entry.begin;
+        if (b.op == kernel::WalOp::kPmoAttach) {
+            auto pmo = static_cast<int>(b.a);
+            if (committed) {
+                // Redo is an idempotent rewrite, not a bare verify: a
+                // later committed detach may already have erased this
+                // object (its own redo will erase it again), and the
+                // content is deterministic from the logged seed.
+                auto pages = static_cast<std::size_t>(b.b);
+                if (!store_.intact(pmo, b.c, pages)) {
+                    std::vector<std::uint64_t> &content =
+                        store_.content[pmo];
+                    content.clear();
+                    for (std::size_t p = 0; p < pages; ++p)
+                        content.push_back(
+                            apps::PmoStore::pattern(pmo, b.c, p));
+                }
+                return true;
+            }
+            store_.content.erase(pmo);  // Torn attach: undo the content.
+            return true;
+        }
+        if (b.op == kernel::WalOp::kPmoDetach) {
+            // Idempotent erase redo: finishes an interrupted detach.
+            store_.content.erase(static_cast<int>(b.a));
+            return true;
+        }
+        return true;
+    };
+
+    RecoveryStats stats;
+    {
+        std::optional<telemetry::ScopedFlightRecorder> recording;
+        if (config_.flight_per_core > 0)
+            recording.emplace(flight_);
+        stats = recover(*fresh->sys, fresh->machine->core(0), wal_, hook);
+    }
+    result.replayed_ops += stats.replayed;
+    result.torn_records += stats.torn;
+    result.undone_ops += stats.undone;
+    if (!stats.ok) {
+        record_violation(result, fresh.get(), &plan,
+                         label + ": recovery failed: " + stats.error);
+        return;
+    }
+    ++result.recoveries;
+
+    // Atomicity oracle: the WAL decides which golden boundary the
+    // recovered world must sit on — after op i when its transaction
+    // committed before the crash, after op i-1 otherwise.  Any other
+    // committed count means an op leaked more than one transaction.
+    const Golden *expect = nullptr;
+    if (stats.committed == golden[i + 1].commits)
+        expect = &golden[i + 1];
+    else if (stats.committed == golden[i].commits)
+        expect = &golden[i];
+    if (expect == nullptr) {
+        record_violation(result, fresh.get(), &plan,
+                         label + ": committed count " +
+                             std::to_string(stats.committed) +
+                             " matches no op boundary");
+        return;
+    }
+
+    verify_recovered(*fresh, *expect, label, result);
+    fold(result, label + " committed=" + std::to_string(stats.committed) +
+                     " replayed=" + std::to_string(stats.replayed) +
+                     " torn=" + std::to_string(stats.torn));
+}
+
+CrashSweepResult
+CrashSweepHarness::run()
+{
+    CrashSweepResult result;
+    const std::vector<Op> script = make_script();
+    result.script_ops = script.size();
+
+    // Probe pass: one clean world with the WAL attached and kCrash
+    // count-armed (a probe tallies crossings, never fires).  Records the
+    // per-op crossing count plus the golden durable state at every op
+    // boundary.
+    std::vector<std::uint64_t> crossings(script.size());
+    std::vector<Golden> golden(script.size() + 1);
+    {
+        wal_.reset();
+        store_.content.clear();
+        auto w = build_world(&wal_);
+        FaultPlan probe(config_.seed);
+        probe.arm_probe(FaultSite::kCrash);
+        ScopedFaults armed(probe);
+        golden[0].durable = snapshot_durable_state(*w->sys);
+        std::map<int, std::pair<std::uint64_t, std::uint64_t>> live;
+        for (std::size_t i = 0; i < script.size(); ++i) {
+            const Op &op = script[i];
+            prepare(*w, op);
+            std::uint64_t before = probe.occurrences(FaultSite::kCrash);
+            bool verdict_ok = true;
+            VdomStatus st = perform(*w, op, &verdict_ok);
+            crossings[i] =
+                probe.occurrences(FaultSite::kCrash) - before;
+            std::string label = "clean op " + std::to_string(i) + " (" +
+                                Op::name(op.kind) + ")";
+            if (st != VdomStatus::kOk || !verdict_ok) {
+                record_violation(result, w.get(), &probe,
+                                 label + " failed: " + status_name(st));
+                return result;
+            }
+            std::string bad = check_design_invariants(
+                *w->proc, w->params, &result.invariant_checks);
+            if (!bad.empty()) {
+                record_violation(result, w.get(), &probe,
+                                 label + ": " + bad);
+                return result;
+            }
+            if (op.kind == Op::Kind::kPmoAttach)
+                live[op.pmo] = {op.pages, op.seed};
+            else if (op.kind == Op::Kind::kPmoDetach)
+                live.erase(op.pmo);
+            golden[i + 1].durable = snapshot_durable_state(*w->sys);
+            golden[i + 1].commits = wal_.commits();
+            golden[i + 1].pmos = live;
+            fold(result, label + " " +
+                             std::to_string(
+                                 snapshot_hash(golden[i + 1].durable)) +
+                             " crossings=" +
+                             std::to_string(crossings[i]) + " commits=" +
+                             std::to_string(golden[i + 1].commits));
+        }
+    }
+
+    // Injection passes: one crash/reboot/recover cycle per (op, k-th
+    // crossing) — every WAL ordering point, every PMO persist point, and
+    // (via the kCrash piggyback) every other fault site's crossing.
+    for (std::size_t i = 0; i < script.size(); ++i) {
+        result.crash_points += crossings[i];
+        for (std::uint64_t k = 1; k <= crossings[i]; ++k)
+            run_injection(script, golden, i, k, result);
+    }
+    return result;
+}
+
+// --- application-workload chaos ------------------------------------------
+
+ChaosAppsResult
+run_chaos_apps(const ChaosAppsConfig &config)
+{
+    ChaosAppsResult result;
+    kernel::reset_unique_asids();
+    kernel::Vds::reset_ctx_ids();
+    hw::ArchParams params = config.arch == hw::ArchKind::kX86
+                                ? hw::ArchParams::x86(config.cores)
+                                : hw::ArchParams::arm(config.cores);
+    hw::Machine machine(params);
+    kernel::Process proc(machine);
+    VdomSystem sys(proc);
+    // Bring-up runs fault-free (mirrors ChaosHarness): chaos targets the
+    // workload's steady state, not construction.
+    sys.vdom_init(machine.core(0));
+
+    FaultPlan plan(config.seed);
+    for (const auto &[site, spec] : config.faults)
+        plan.arm(site, spec);
+    apps::VdomStrategy strat(sys, 2);
+    {
+        ScopedFaults armed(plan);
+        switch (config.workload) {
+          case ChaosAppsConfig::Workload::kHttpd: {
+            apps::HttpdConfig cfg =
+                apps::HttpdConfig::for_arch(config.arch, config.clients, 1);
+            cfg.total_requests = config.work_items;
+            apps::HttpdResult r =
+                apps::run_httpd(machine, proc, strat, cfg);
+            result.completed = r.completed;
+            result.elapsed = r.elapsed;
+            break;
+          }
+          case ChaosAppsConfig::Workload::kMysql: {
+            apps::MysqlConfig cfg =
+                apps::MysqlConfig::for_arch(config.arch, config.clients);
+            cfg.total_queries = config.work_items;
+            apps::MysqlResult r =
+                apps::run_mysql(machine, proc, strat, cfg);
+            result.completed = r.completed;
+            result.elapsed = r.elapsed;
+            break;
+          }
+          case ChaosAppsConfig::Workload::kPmo: {
+            apps::PmoConfig cfg =
+                apps::PmoConfig::for_arch(config.arch, config.clients);
+            cfg.ops_per_thread = config.work_items;
+            cfg.pmos = 16;
+            cfg.pmo_pages = 8;
+            apps::PmoResult r = apps::run_pmo(machine, proc, strat, cfg);
+            result.completed = r.completed;
+            result.elapsed = r.elapsed;
+            break;
+          }
+        }
+    }
+    result.faults_injected = plan.total_fires();
+    std::string bad =
+        check_design_invariants(proc, params, &result.invariant_checks);
+    if (!bad.empty()) {
+        ++result.violations;
+        result.first_violation = hw::arch_name(config.arch) +
+                                 std::string(" (seed ") +
+                                 std::to_string(config.seed) + "): " + bad;
     }
     return result;
 }

@@ -26,8 +26,10 @@
 #include <utility>
 #include <vector>
 
+#include "apps/pmo.h"
 #include "hw/machine.h"
 #include "kernel/process.h"
+#include "kernel/wal.h"
 #include "sim/fault.h"
 #include "telemetry/flightrec.h"
 #include "vdom/api.h"
@@ -201,5 +203,142 @@ class SweepHarness {
     SweepConfig config_;
     telemetry::FlightRecorder flight_;
 };
+
+// --- exhaustive crash-point recovery sweep -------------------------------
+
+/// Shape of one crash sweep.  Everything derives from the seed; two runs
+/// with the same config produce byte-identical digests.
+struct CrashSweepConfig {
+    hw::ArchKind arch = hw::ArchKind::kX86;
+    std::size_t cores = 2;
+    std::size_t threads = 2;
+    std::size_t domains = 3;
+    /// Seeded churn ops appended to the deterministic script prologue.
+    int churn_ops = 8;
+    std::uint64_t seed = 1;
+    /// Flight-recorder budget per core ring (0 disables the recorder).
+    std::size_t flight_per_core = 256;
+    /// When non-empty, the first violation dumps a post-mortem bundle.
+    std::string postmortem_path;
+};
+
+/// Outcome of one crash sweep.
+struct CrashSweepResult {
+    std::uint64_t script_ops = 0;     ///< Ops in the deterministic script.
+    std::uint64_t crash_points = 0;   ///< Total kCrash crossings probed.
+    std::uint64_t injected_runs = 0;  ///< Crash/reboot/recover cycles run.
+    std::uint64_t recoveries = 0;     ///< Successful recovery passes.
+    std::uint64_t replayed_ops = 0;   ///< Committed WAL ops redone.
+    std::uint64_t torn_records = 0;   ///< Torn tail records truncated.
+    std::uint64_t undone_ops = 0;     ///< Uncommitted durable undos.
+    std::uint64_t pmo_checks = 0;     ///< PMO content-integrity checks.
+    std::uint64_t snapshot_checks = 0;///< Durable-snapshot oracle diffs.
+    std::uint64_t invariant_checks = 0;
+    std::uint64_t violations = 0;
+    std::string first_violation;      ///< Empty when every check held.
+    std::uint64_t digest = 0;         ///< Run fingerprint (determinism gate).
+    bool postmortem_written = false;
+
+    bool ok() const { return violations == 0; }
+};
+
+/// The exhaustive crash-point sweep driver (the tentpole oracle for
+/// kernel/wal.h + vdom/recovery.h).  A deterministic script of
+/// WAL-covered ops — including secure-pool growth, sandbox_mprotect and
+/// PMO attach/detach — is probed once with kCrash count-armed, recording
+/// per-op crossing counts, golden durable snapshots and golden PMO sets.
+/// Then for every (op, k-th crossing) a fresh world replays the prefix,
+/// crashes exactly there (sim::PowerLoss), reboots into a second fresh
+/// world and recovers from the surviving WAL + PmoStore.
+///
+/// The oracle per injected run:
+///   - recovery must succeed with no replay divergence;
+///   - the recovered durable snapshot must equal the golden snapshot at
+///     the last committed op boundary — exactly golden[i] when the WAL
+///     says op i committed, exactly golden[i-1] otherwise (atomicity:
+///     nothing in between is ever observable);
+///   - the PMO store must hold exactly the golden PMO set, every object
+///     intact (torn attach content undone, interrupted detach redone);
+///   - DESIGN.md invariants and the access-verdict policy must hold in
+///     the recovered world;
+/// and the first violation dumps a post-mortem bundle.
+class CrashSweepHarness {
+  public:
+    explicit CrashSweepHarness(const CrashSweepConfig &config);
+    ~CrashSweepHarness();
+
+    CrashSweepHarness(const CrashSweepHarness &) = delete;
+    CrashSweepHarness &operator=(const CrashSweepHarness &) = delete;
+
+    /// Runs probe + crash-injection passes and returns the tally.
+    CrashSweepResult run();
+
+    const telemetry::FlightRecorder &flight() const { return flight_; }
+
+  private:
+    struct Op;
+    struct World;
+    struct Golden;
+
+    std::vector<Op> make_script() const;
+    std::unique_ptr<World> build_world(kernel::Wal *wal) const;
+    void prepare(World &w, const Op &op) const;
+    /// Non-const: PMO ops write through the harness-owned durable store.
+    VdomStatus perform(World &w, const Op &op, bool *verdict_ok);
+    void run_injection(const std::vector<Op> &script,
+                       const std::vector<Golden> &golden, std::size_t i,
+                       std::uint64_t k, CrashSweepResult &result);
+    void verify_recovered(World &w, const Golden &expect,
+                          const std::string &label,
+                          CrashSweepResult &result);
+    void record_violation(CrashSweepResult &result, World *world,
+                          const FaultPlan *plan, const std::string &what);
+    void fold(CrashSweepResult &result, const std::string &line) const;
+
+    CrashSweepConfig config_;
+    telemetry::FlightRecorder flight_;
+    /// The durable media: owned here (the "NVDIMM"), so they outlive
+    /// every crashed world.  Reset before each injected run.
+    kernel::Wal wal_;
+    apps::PmoStore store_;
+};
+
+// --- application-workload chaos ------------------------------------------
+
+/// Shape of one apps-under-chaos run: a full application model (httpd,
+/// MySQL or the PMO string-replace benchmark) driven under the VDom
+/// strategy with graceful fault sites armed underneath it.
+struct ChaosAppsConfig {
+    hw::ArchKind arch = hw::ArchKind::kX86;
+    enum class Workload : std::uint8_t { kHttpd, kMysql, kPmo };
+    Workload workload = Workload::kHttpd;
+    std::size_t cores = 4;
+    /// Workload size knob: requests (httpd), queries (MySQL) or ops per
+    /// thread (PMO).  Small defaults keep the regression test fast.
+    std::size_t work_items = 200;
+    std::size_t clients = 8;  ///< Clients / connections / threads.
+    std::uint64_t seed = 1;
+    /// Sites to arm (graceful sites only — the app models retry through
+    /// transient statuses; kCrash needs the CrashSweepHarness).
+    std::vector<std::pair<FaultSite, FaultSpec>> faults;
+};
+
+/// Outcome of one apps-under-chaos run.
+struct ChaosAppsResult {
+    std::uint64_t completed = 0;        ///< Work items finished.
+    std::uint64_t faults_injected = 0;  ///< Fault-site fires underneath.
+    std::uint64_t invariant_checks = 0;
+    std::uint64_t violations = 0;
+    std::string first_violation;        ///< Empty when every check held.
+    hw::Cycles elapsed = 0;
+
+    bool ok() const { return violations == 0; }
+};
+
+/// Runs \p config's workload with the configured fault plan armed and
+/// checks the DESIGN.md structural invariants over the final world.  The
+/// app models drive the public API through apps::VdomStrategy, so armed
+/// graceful sites exercise their retry/degradation paths at scale.
+ChaosAppsResult run_chaos_apps(const ChaosAppsConfig &config);
 
 }  // namespace vdom::sim

@@ -24,6 +24,13 @@ set_fault_sink(FaultPlan *plan)
 bool
 FaultPlan::should_fire(FaultSite site)
 {
+    // Power loss piggybacks on every other site's crossing: with kCrash
+    // armed, each fault point anywhere in the system is also a potential
+    // crash point, so the crash sweep enumerates them without touching a
+    // single call site.  Guarded on armed so unarmed runs see one extra
+    // predictable branch and nothing else (no counters, no RNG).
+    if (site != FaultSite::kCrash && state(FaultSite::kCrash).armed)
+        (void)should_fire(FaultSite::kCrash);
     SiteState &st = state(site);
     if (!st.armed)
         return false;
@@ -45,6 +52,10 @@ FaultPlan::should_fire(FaultSite site)
     ++st.fires;
     ++total_fires_;
     telemetry::metric_add(telemetry::Metric::kFaultsInjected);
+    // kCrash is fail-stop: halt the world after the fire is booked, so a
+    // post-mortem of the caught PowerLoss still sees accurate counters.
+    if (site == FaultSite::kCrash)
+        throw PowerLoss{st.fires, st.occurrences};
     return true;
 }
 

@@ -45,10 +45,32 @@ enum class FaultSite : std::uint8_t {
     kVdrExhausted,     ///< VDR slot allocation fails.
     kGateEntryDenied,  ///< Secure call-gate entry aborted; retryable.
     kNumSites,
+    // sim (fail-stop)
+    /// Power loss: the world halts on the spot (a `PowerLoss` is thrown)
+    /// instead of degrading gracefully.  Deliberately aliased past
+    /// kNumSites so it is *excluded* from kNumFaultSites: every existing
+    /// arm-all-sites loop and sweep stays graceful-only, and crash
+    /// injection is opt-in via an explicit arm of kCrash.  When armed,
+    /// kCrash piggybacks an occurrence on every other site's crossing
+    /// (see FaultPlan::should_fire), so each graceful fault point doubles
+    /// as a crash point; WAL ordering points additionally call
+    /// `fault_fires(kCrash)` directly.
+    kCrash = kNumSites,
 };
 
 constexpr std::size_t kNumFaultSites =
     static_cast<std::size_t>(FaultSite::kNumSites);
+
+/// Thrown by FaultPlan::should_fire when an armed kCrash site fires:
+/// simulated power loss, halting the world mid-op.  Harnesses catch it,
+/// discard the torn world, and drive recovery from durable state (the
+/// WAL, kernel/wal.h).  kCrash must not be armed sticky: stack unwinding
+/// runs journal rollbacks whose undo closures cross fault points, and a
+/// sticky crash would re-fire during unwind (std::terminate).
+struct PowerLoss {
+    std::uint64_t fires = 0;     ///< Total kCrash fires including this one.
+    std::uint64_t crossing = 0;  ///< 1-based kCrash occurrence that fired.
+};
 
 /// Returns a short label for \p site (used in logs and bench JSON).
 constexpr const char *
@@ -64,7 +86,7 @@ fault_site_name(FaultSite site)
       case FaultSite::kVdtAllocFail: return "vdt_alloc_fail";
       case FaultSite::kVdrExhausted: return "vdr_exhausted";
       case FaultSite::kGateEntryDenied: return "gate_entry_denied";
-      case FaultSite::kNumSites: break;
+      case FaultSite::kCrash: return "crash";  // == kNumSites
     }
     return "?";
 }
@@ -176,7 +198,9 @@ class FaultPlan {
     }
 
     Rng rng_;
-    std::array<SiteState, kNumFaultSites> sites_;
+    // +1: slot for kCrash, which aliases kNumSites and deliberately sits
+    // outside the kNumFaultSites range swept by graceful-fault loops.
+    std::array<SiteState, kNumFaultSites + 1> sites_;
     std::uint64_t total_fires_ = 0;
 };
 

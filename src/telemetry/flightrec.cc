@@ -37,6 +37,7 @@ flight_event_name(FlightEvent event)
       case FlightEvent::kVdomEvict: return "vdom_evict";
       case FlightEvent::kFaultInjected: return "fault_injected";
       case FlightEvent::kTxnRollback: return "txn_rollback";
+      case FlightEvent::kRecoveryReplay: return "recovery_replay";
       case FlightEvent::kNumEvents: break;
     }
     return "?";

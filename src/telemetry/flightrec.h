@@ -63,6 +63,9 @@ enum class FlightEvent : std::uint8_t {
     // Transaction rollback (kernel/journal.h); a = entries unwound,
     // name = the op label.
     kTxnRollback,
+    // Crash recovery (vdom/recovery.h); one per WAL record replayed or
+    // undone on "reboot": a = WAL op kind, b = txn id, name = op label.
+    kRecoveryReplay,
     kNumEvents,
 };
 

@@ -78,6 +78,12 @@ enum class Metric : std::uint16_t {
     kFaultsInjected,
     // Transactional ops (kernel/journal.h).
     kTxnRollback,
+    // Crash consistency (kernel/wal.h, vdom/recovery.h).
+    kWalAppend,            ///< WAL records sealed durable.
+    kWalCommit,            ///< Transactions committed to the WAL.
+    kWalAbort,             ///< Transactions aborted in the WAL.
+    kRecoveryReplayed,     ///< Committed ops redone during recover().
+    kRecoveryTorn,         ///< Torn records truncated by the WAL scan.
     // Latency distributions (simulated cycles).
     kWrvdrLatency,
     kShootdownLatency,
@@ -86,6 +92,7 @@ enum class Metric : std::uint16_t {
     kShootdownFanout,      ///< IPI targets per shootdown.
     kShootdownE2eLatency,  ///< Issue -> last remote flush completion.
     kTxnJournalDepth,      ///< Undo entries unwound per rollback.
+    kShootdownBackoff,     ///< IPI retry backoff wait per attempt.
     kNumMetrics,
 };
 
@@ -135,12 +142,18 @@ constexpr std::array<MetricDef, kNumWellKnownMetrics> kMetricDefs = {{
     {"virt.vds_alloc", MetricKind::kCounter},
     {"fault.injected", MetricKind::kCounter},
     {"txn.rollback", MetricKind::kCounter},
+    {"wal.append", MetricKind::kCounter},
+    {"wal.commit", MetricKind::kCounter},
+    {"wal.abort", MetricKind::kCounter},
+    {"recovery.replayed", MetricKind::kCounter},
+    {"recovery.torn", MetricKind::kCounter},
     {"api.wrvdr_cycles", MetricKind::kHistogram},
     {"shootdown.latency_cycles", MetricKind::kHistogram},
     {"api.fault_cycles", MetricKind::kHistogram},
     {"shootdown.fanout_targets", MetricKind::kHistogram},
     {"shootdown.e2e_cycles", MetricKind::kHistogram},
     {"txn.journal_depth", MetricKind::kHistogram},
+    {"shootdown.backoff_cycles", MetricKind::kHistogram},
 }};
 
 /// Returns the registry name of a well-known metric.

@@ -61,17 +61,21 @@ VdomSystem::vdom_init(hw::Core &core)
     // Transactional: a fault during the assignment must not leave the
     // region's VMA behind (or api_region_ pointing at unlocked pages).
     kernel::MmStruct &mm = proc_->mm();
+    // WAL intent first (write-ahead): a crash mid-op replays or drops the
+    // whole init depending on whether the COMMIT record got sealed.
+    kernel::WalTxn wtxn(mm.wal(), core, kernel::WalOp::kVdomInit, 0);
     kernel::ScopedTxn txn(mm.journal(), core, 0, "vdom_init");
     hw::Vpn region = mm.mmap(kApiRegionPages);
     VdomStatus st = mm.assign_vdom(core, region, kApiRegionPages, kApiVdom);
     if (st != VdomStatus::kOk)
-        return st;  // Rollback unwinds the mmap.
+        return st;  // Rollback unwinds the mmap; WalTxn seals an ABORT.
     // Touch the pages so they are present (and pdom1-tagged) everywhere.
     for (std::uint64_t i = 0; i < kApiRegionPages; ++i)
         mm.fault_in(core, *mm.vds0(), region + i);
     api_region_ = region;
     initialized_ = true;
     txn.commit();
+    wtxn.commit(region);
     return VdomStatus::kOk;
 }
 
@@ -81,7 +85,15 @@ VdomSystem::vdom_alloc(hw::Core &core, bool frequent)
     if (!initialized_)
         return kInvalidVdom;
     core.charge(hw::CostKind::kSyscall, core.costs().syscall);
-    return proc_->mm().vdm().alloc(frequent);
+    kernel::MmStruct &mm = proc_->mm();
+    // Logged so replay reproduces the allocator's id-recycling sequence;
+    // the COMMIT payload carries the id for replay-divergence checks.
+    kernel::WalTxn wtxn(mm.wal(), core, kernel::WalOp::kVdomAlloc, 0,
+                        frequent ? 1 : 0);
+    VdomId id = mm.vdm().alloc(frequent);
+    if (id != kInvalidVdom)
+        wtxn.commit(id);
+    return id;
 }
 
 VdomStatus
@@ -95,6 +107,7 @@ VdomSystem::vdom_free(hw::Core &core, VdomId vdom)
     if (!mm.vdm().is_allocated(vdom))
         return VdomStatus::kInvalidVdom;
     core.charge(hw::CostKind::kSyscall, core.costs().syscall);
+    kernel::WalTxn wtxn(mm.wal(), core, kernel::WalOp::kVdomFree, 0, vdom);
     // Unmap from every VDS that holds it; the pages return to the
     // access-never pdom until (if ever) reassigned.
     for (const auto &vds : mm.vdses()) {
@@ -125,6 +138,7 @@ VdomSystem::vdom_free(hw::Core &core, VdomId vdom)
         vdr->set(vdom, VPerm::kAccessDisable);
     }
     mm.vdm().free(vdom);
+    wtxn.commit();
     return VdomStatus::kOk;
 }
 
@@ -139,7 +153,15 @@ VdomSystem::vdom_mprotect(hw::Core &core, hw::Vpn vpn, std::uint64_t pages,
     const hw::CostTable &costs = core.costs();
     core.charge(hw::CostKind::kSyscall,
                 costs.syscall + costs.mprotect_base);
-    return proc_->mm().assign_vdom(core, vpn, pages, vdom);
+    kernel::MmStruct &mm = proc_->mm();
+    // Nested no-op when an outer op (vdom_init, secure grow, sandbox)
+    // already holds the WAL transaction — its record subsumes this one.
+    kernel::WalTxn wtxn(mm.wal(), core, kernel::WalOp::kMprotect, 0, vpn,
+                        pages, vdom);
+    VdomStatus st = mm.assign_vdom(core, vpn, pages, vdom);
+    if (st == VdomStatus::kOk)
+        wtxn.commit();
+    return st;
 }
 
 VdomStatus
@@ -173,8 +195,11 @@ VdomSystem::vdr_alloc(hw::Core &core, kernel::Task &task, std::size_t nas)
              sim::fault_site_name(sim::FaultSite::kVdrExhausted)});
         return VdomStatus::kResourceExhausted;
     }
+    kernel::WalTxn wtxn(proc_->mm().wal(), core, kernel::WalOp::kVdrAlloc,
+                        task.tid(), nas);
     task.alloc_vdr(nas == 0 ? 1 : nas);
     task.add_owned(task.vds());
+    wtxn.commit();
     return VdomStatus::kOk;
 }
 
@@ -184,6 +209,8 @@ VdomSystem::vdr_free(hw::Core &core, kernel::Task &task)
     if (!task.has_vdr())
         return VdomStatus::kNoVdr;
     core.charge(hw::CostKind::kSyscall, core.costs().syscall);
+    kernel::WalTxn wtxn(proc_->mm().wal(), core, kernel::WalOp::kVdrFree,
+                        task.tid());
     // Drop this thread's active references wherever they live.
     task.for_each_ref_home([](VdomId v, kernel::Vds *home) {
         if (home)
@@ -191,6 +218,7 @@ VdomSystem::vdr_free(hw::Core &core, kernel::Task &task)
     });
     task.free_vdr();
     core.perm_reg().reset();
+    wtxn.commit();
     return VdomStatus::kOk;
 }
 
@@ -275,6 +303,8 @@ VdomSystem::wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
     // machinery, the thread-reference bookkeeping.  The transaction makes
     // every failure exit below all-or-nothing.
     kernel::MmStruct &mm = proc_->mm();
+    kernel::WalTxn wtxn(mm.wal(), core, kernel::WalOp::kWrvdr, task.tid(),
+                        vdom, static_cast<std::uint64_t>(perm));
     kernel::ScopedTxn txn(mm.journal(), core, task.tid(), "wrvdr");
 
     Vdr &vdr = *task.vdr();
@@ -361,6 +391,7 @@ VdomSystem::wrvdr(hw::Core &core, kernel::Task &task, VdomId vdom,
             sync_hw_slot(core, task, vdom, *pdom);
     }
     txn.commit();
+    wtxn.commit();
     return VdomStatus::kOk;
 }
 

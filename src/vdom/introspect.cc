@@ -132,6 +132,52 @@ snapshot_state(VdomSystem &sys)
     return out.str();
 }
 
+std::string
+snapshot_durable_state(VdomSystem &sys)
+{
+    kernel::Process &proc = sys.process();
+    kernel::MmStruct &mm = proc.mm();
+    std::ostringstream out;
+
+    out << "init " << (sys.initialized() ? 1 : 0) << " api_region "
+        << sys.api_region() << "\n";
+
+    // Domain table: allocated ids, hints, and their VDT area chains.
+    auto high_water = static_cast<VdomId>(mm.vdm().high_water());
+    for (VdomId v = 0; v < high_water; ++v) {
+        if (!mm.vdm().is_allocated(v))
+            continue;
+        out << "vdom " << v << " freq " << (mm.vdm().is_frequent(v) ? 1 : 0)
+            << " areas[";
+        for (const kernel::VdtArea &a : mm.vdm().vdt().areas(v))
+            out << "(" << a.start << "," << a.pages << "," << (a.huge ? 1 : 0)
+                << ")";
+        out << "]\n";
+    }
+
+    // Address-space layout.
+    for (const auto &[start, vma] : mm.vmas()) {
+        out << "vma " << start << " " << vma.pages << " " << vma.vdom << " "
+            << (vma.huge ? 1 : 0) << "\n";
+    }
+
+    // Per-thread VDR policy.  No VDS placement, reference homes or
+    // ownership: those are volatile scheduling state rebuilt on demand.
+    for (const auto &task : proc.tasks()) {
+        out << "task " << task->tid() << " vdr "
+            << (task->has_vdr() ? 1 : 0);
+        if (task->has_vdr()) {
+            out << " nas " << task->nas_limit() << " perms[";
+            task->vdr()->for_each([&](VdomId v, VPerm perm) {
+                out << "(" << v << "," << vperm_name(perm) << ")";
+            });
+            out << "]";
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
 std::uint64_t
 snapshot_hash(const std::string &data)
 {

@@ -48,6 +48,17 @@ std::string format_domain_map(const kernel::Vds &vds,
 /// with a documented error status must leave this string byte-identical.
 std::string snapshot_state(VdomSystem &sys);
 
+/// The *durable* subset of snapshot_state, the crash-sweep recovery
+/// oracle (sim/chaos.h): init flag + API region, VDM table + VDT area
+/// chains, VMA layout, and per-thread VDR policy (nas + permission
+/// words).  Deliberately excludes everything a reboot legitimately
+/// discards or recovery does not promise to reconstruct — VDS domain
+/// maps, residency, CPU bitmaps, reference homes and VDS ownership all
+/// depend on the access history, which the WAL does not log.  A
+/// recovered world must match the pre-crash world's durable snapshot
+/// exactly at the last committed operation boundary.
+std::string snapshot_durable_state(VdomSystem &sys);
+
 /// FNV-1a over \p data (stable 64-bit digest for sweep determinism).
 std::uint64_t snapshot_hash(const std::string &data);
 

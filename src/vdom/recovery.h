@@ -1,0 +1,61 @@
+/// \file
+/// Crash recovery: replays the write-ahead log into a fresh world.
+///
+/// The "reboot" model: power loss (sim::FaultSite::kCrash) destroys the
+/// in-memory world — page tables, VDS maps, VDR arrays, the undo journal
+/// — but the durable media survive: the WAL (kernel/wal.h) and any PMO
+/// contents (apps/pmo.h).  The harness builds a fresh machine/process
+/// with the same shape (cores, threads), then calls `recover()`, which
+/// scans the log, truncates the torn tail, *redoes* every committed
+/// transaction in log order through the public API, and *undoes* the
+/// durable side effects of uncommitted ones via the caller's hook.
+///
+/// Replay is deterministic by construction: BEGIN records carry the
+/// architectural arguments, log order equals original program order, and
+/// the id/address allocators are deterministic — so replay must arrive
+/// at exactly the ids and addresses the COMMIT records captured.  Any
+/// disagreement is a replay divergence and fails the recovery.
+///
+/// The recovered world must have no WAL attached while recovering (redo
+/// must not re-log) and no fault plan armed (recovery itself is not a
+/// crash scope; crash-during-recovery would need a nested WAL).
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "kernel/wal.h"
+#include "vdom/api.h"
+
+namespace vdom {
+
+/// Outcome of one recovery pass.
+struct RecoveryStats {
+    std::uint64_t records = 0;      ///< Sealed records scanned.
+    std::uint64_t torn = 0;         ///< Torn records truncated.
+    std::uint64_t committed = 0;    ///< Committed transactions found.
+    std::uint64_t uncommitted = 0;  ///< BEGIN records with no outcome.
+    std::uint64_t aborted = 0;      ///< Aborted transactions (skipped).
+    std::uint64_t replayed = 0;     ///< Committed ops redone.
+    std::uint64_t undone = 0;       ///< Uncommitted ops undone via hook.
+    bool ok = true;                 ///< False on any divergence/failure.
+    std::string error;              ///< First failure, human-readable.
+};
+
+/// App-durable-state hook: called for WAL ops whose durable side effects
+/// live outside the kernel (today the PMO store).  `committed` selects
+/// redo (finish the op's durable effects, idempotently) vs undo (erase
+/// the partial effects of a transaction that never committed).  Return
+/// false to fail the recovery.
+using RecoveryHook =
+    std::function<bool(const kernel::WalCommitted &entry, bool committed)>;
+
+/// Replays \p wal into \p sys (a freshly built world).  Emits one
+/// kRecoveryReplay flight record per redone/undone op and bumps the
+/// recovery.* metrics.  Stops at the first divergence with ok = false.
+RecoveryStats recover(VdomSystem &sys, hw::Core &core,
+                      const kernel::Wal &wal,
+                      const RecoveryHook &hook = RecoveryHook());
+
+}  // namespace vdom

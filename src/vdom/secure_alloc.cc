@@ -32,6 +32,10 @@ DomainAllocator::grow(hw::Core &core, std::uint64_t pages)
     // byte it hands out is domain-protected, so the mmap and the
     // protection commit together — a faulted vdom_mprotect unwinds the
     // mapping instead of leaking an unprotected chunk into the pool.
+    // The WAL intent makes the same pair atomic across power loss (the
+    // inner vdom_mprotect's own logging nests away under this record).
+    kernel::WalTxn wtxn(mm.wal(), core, kernel::WalOp::kSecureGrow, 0,
+                        vdom_, pages);
     kernel::ScopedTxn txn(mm.journal(), core, 0, "secure_alloc.grow");
     Chunk chunk;
     chunk.start = mm.mmap(pages);
@@ -40,6 +44,7 @@ DomainAllocator::grow(hw::Core &core, std::uint64_t pages)
     if (last_status_ != VdomStatus::kOk)
         return nullptr;  // Rollback unwinds the mmap.
     txn.commit();
+    wtxn.commit(chunk.start);
     total_pages_ += pages;
     chunks_.push_back(chunk);
     return &chunks_.back();

@@ -1,0 +1,115 @@
+/// \file
+/// ChaosHarness-style fault injection under the src/apps workload models
+/// (httpd, MySQL, PMO): graceful fault sites fire underneath the
+/// strategy-driven public API at scale, and the DESIGN.md structural
+/// invariants must hold over the surviving world on both architectures.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "sim/chaos.h"
+
+namespace vdom::sim {
+namespace {
+
+/// Graceful sites only: the app models spin through transient statuses,
+/// so these probabilities stress retry paths without failing any work
+/// item outright.
+std::vector<std::pair<FaultSite, FaultSpec>>
+graceful_faults()
+{
+    std::vector<std::pair<FaultSite, FaultSpec>> faults;
+    FaultSpec drop;
+    drop.probability = 0.05;
+    faults.emplace_back(FaultSite::kTlbEntryDrop, drop);
+    FaultSpec delay;
+    delay.probability = 0.05;
+    faults.emplace_back(FaultSite::kPteWriteDelay, delay);
+    FaultSpec ipi;
+    ipi.probability = 0.10;
+    faults.emplace_back(FaultSite::kIpiDrop, ipi);
+    return faults;
+}
+
+ChaosAppsConfig
+base_config(hw::ArchKind arch, ChaosAppsConfig::Workload workload)
+{
+    ChaosAppsConfig config;
+    config.arch = arch;
+    config.workload = workload;
+    config.cores = 4;
+    config.work_items = 120;
+    config.clients = 6;
+    config.seed = 11;
+    config.faults = graceful_faults();
+    return config;
+}
+
+class ChaosAppsTest
+    : public ::testing::TestWithParam<
+          std::pair<hw::ArchKind, ChaosAppsConfig::Workload>> {};
+
+TEST_P(ChaosAppsTest, InvariantsHoldUnderInjectedFaults)
+{
+    auto [arch, workload] = GetParam();
+    ChaosAppsResult result = run_chaos_apps(base_config(arch, workload));
+    EXPECT_EQ(result.violations, 0u) << result.first_violation;
+    EXPECT_GT(result.completed, 0u);
+    EXPECT_GT(result.faults_injected, 0u)
+        << "fault plan never fired — the sites are not on the app path";
+    EXPECT_GT(result.invariant_checks, 0u);
+    EXPECT_GT(result.elapsed, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsBothArches, ChaosAppsTest,
+    ::testing::Values(
+        std::make_pair(hw::ArchKind::kX86,
+                       ChaosAppsConfig::Workload::kHttpd),
+        std::make_pair(hw::ArchKind::kX86,
+                       ChaosAppsConfig::Workload::kMysql),
+        std::make_pair(hw::ArchKind::kX86,
+                       ChaosAppsConfig::Workload::kPmo),
+        std::make_pair(hw::ArchKind::kArm,
+                       ChaosAppsConfig::Workload::kHttpd),
+        std::make_pair(hw::ArchKind::kArm,
+                       ChaosAppsConfig::Workload::kMysql),
+        std::make_pair(hw::ArchKind::kArm,
+                       ChaosAppsConfig::Workload::kPmo)),
+    [](const ::testing::TestParamInfo<ChaosAppsTest::ParamType> &info) {
+        std::string name =
+            info.param.first == hw::ArchKind::kX86 ? "X86" : "Arm";
+        switch (info.param.second) {
+          case ChaosAppsConfig::Workload::kHttpd: name += "Httpd"; break;
+          case ChaosAppsConfig::Workload::kMysql: name += "Mysql"; break;
+          case ChaosAppsConfig::Workload::kPmo: name += "Pmo"; break;
+        }
+        return name;
+    });
+
+TEST(ChaosApps, DeterministicAcrossIdenticalSeeds)
+{
+    ChaosAppsConfig config =
+        base_config(hw::ArchKind::kX86, ChaosAppsConfig::Workload::kHttpd);
+    ChaosAppsResult a = run_chaos_apps(config);
+    ChaosAppsResult b = run_chaos_apps(config);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.faults_injected, b.faults_injected);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+}
+
+TEST(ChaosApps, FaultFreeRunInjectsNothing)
+{
+    ChaosAppsConfig config =
+        base_config(hw::ArchKind::kArm, ChaosAppsConfig::Workload::kPmo);
+    config.faults.clear();
+    ChaosAppsResult result = run_chaos_apps(config);
+    EXPECT_EQ(result.violations, 0u) << result.first_violation;
+    EXPECT_EQ(result.faults_injected, 0u);
+    EXPECT_GT(result.completed, 0u);
+}
+
+}  // namespace
+}  // namespace vdom::sim

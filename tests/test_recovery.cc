@@ -1,0 +1,602 @@
+/// \file
+/// Crash-consistency tests: the write-ahead log (kernel/wal.h), torn-write
+/// detection, power-loss injection (sim::FaultSite::kCrash), the recovery
+/// replay path (vdom/recovery.h), and PMO attach/detach durability.
+///
+/// The contract under test is DESIGN.md's durability column: after a
+/// simulated power loss at *any* ordering point, recovery must land the
+/// durable state exactly on the last committed operation boundary —
+/// nothing in between is ever observable — and the WAL wiring must charge
+/// nothing when no log is attached.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/pmo.h"
+#include "common.h"
+#include "kernel/asid.h"
+#include "kernel/shootdown.h"
+#include "kernel/vds.h"
+#include "kernel/wal.h"
+#include "sim/fault.h"
+#include "telemetry/metrics.h"
+#include "vdom/introspect.h"
+#include "vdom/recovery.h"
+#include "vdom/sandbox.h"
+#include "vdom/secure_alloc.h"
+
+namespace vdom {
+namespace {
+
+using ::vdom::testing::World;
+using kernel::Wal;
+using kernel::WalOp;
+using kernel::WalRecord;
+using kernel::WalRecType;
+using kernel::WalScan;
+using kernel::WalTxn;
+using sim::FaultPlan;
+using sim::FaultSite;
+using sim::ScopedFaults;
+
+/// Deterministic worlds: the global id counters restart before every
+/// build so replay reconverges on recorded ids (mirrors sim/chaos.cc).
+std::unique_ptr<World>
+fresh_world(hw::ArchKind arch, std::size_t cores = 2)
+{
+    kernel::reset_unique_asids();
+    kernel::Vds::reset_ctx_ids();
+    return std::unique_ptr<World>(arch == hw::ArchKind::kX86
+                                      ? World::x86(cores)
+                                      : World::arm(cores));
+}
+
+// -- WAL record & transaction semantics -----------------------------------
+
+TEST(Wal, LogsBeginAndCommitWithResultPayloads)
+{
+    Wal wal;
+    auto w = fresh_world(hw::ArchKind::kX86);
+    w->proc.mm().set_wal(&wal);
+    hw::Core &core = w->core();
+
+    ASSERT_EQ(w->sys.vdom_init(core), VdomStatus::kOk);
+    VdomId vdom = w->sys.vdom_alloc(core, true);
+    ASSERT_NE(vdom, kInvalidVdom);
+
+    // Two transactions, each BEGIN + COMMIT, all records sealed.
+    ASSERT_EQ(wal.size(), 4u);
+    EXPECT_EQ(wal.commits(), 2u);
+    for (const WalRecord &rec : wal.records())
+        EXPECT_FALSE(rec.torn()) << "lsn " << rec.lsn;
+
+    const WalRecord &init_begin = wal.records()[0];
+    EXPECT_EQ(init_begin.type, WalRecType::kBegin);
+    EXPECT_EQ(init_begin.op, WalOp::kVdomInit);
+    const WalRecord &init_commit = wal.records()[1];
+    EXPECT_EQ(init_commit.type, WalRecType::kCommit);
+    EXPECT_EQ(init_commit.a, w->sys.api_region());
+
+    const WalRecord &alloc_begin = wal.records()[2];
+    EXPECT_EQ(alloc_begin.op, WalOp::kVdomAlloc);
+    EXPECT_EQ(alloc_begin.a, 1u);  // frequent hint
+    EXPECT_EQ(wal.records()[3].a, vdom);
+
+    WalScan scan = wal.scan();
+    EXPECT_EQ(scan.committed.size(), 2u);
+    EXPECT_EQ(scan.uncommitted.size(), 0u);
+    EXPECT_EQ(scan.torn, 0u);
+}
+
+TEST(Wal, NestedOpsDoNotDoubleLog)
+{
+    Wal wal;
+    auto w = fresh_world(hw::ArchKind::kX86);
+    w->proc.mm().set_wal(&wal);
+    hw::Core &core = w->core();
+    ASSERT_EQ(w->sys.vdom_init(core), VdomStatus::kOk);
+
+    // Secure-pool growth calls vdom_mprotect internally; only the outer
+    // kSecureGrow transaction may reach the log.
+    DomainAllocator arena(w->sys, core, false, 2);
+    std::uint64_t before = wal.commits();
+    SecureAllocation a = arena.allocate(core, 64);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(wal.commits(), before + 1);
+    const WalRecord &grow = wal.records()[wal.size() - 2];
+    EXPECT_EQ(grow.type, WalRecType::kBegin);
+    EXPECT_EQ(grow.op, WalOp::kSecureGrow);
+    for (const WalRecord &rec : wal.records())
+        EXPECT_NE(rec.op, WalOp::kMprotect);
+}
+
+TEST(Wal, GracefulFailureSealsAbort)
+{
+    Wal wal;
+    auto w = fresh_world(hw::ArchKind::kX86);
+    w->proc.mm().set_wal(&wal);
+    hw::Core &core = w->core();
+
+    FaultPlan plan(1);
+    plan.arm_exact(FaultSite::kVdtAllocFail, 1);
+    {
+        ScopedFaults armed(plan);
+        EXPECT_EQ(w->sys.vdom_init(core), VdomStatus::kResourceExhausted);
+    }
+    ASSERT_EQ(wal.size(), 2u);
+    EXPECT_EQ(wal.records()[1].type, WalRecType::kAbort);
+    WalScan scan = wal.scan();
+    EXPECT_EQ(scan.committed.size(), 0u);
+    EXPECT_EQ(scan.uncommitted.size(), 0u);
+    EXPECT_EQ(scan.aborted, 1u);
+}
+
+// -- Torn-write detection -------------------------------------------------
+
+TEST(Wal, ChecksumDetectsCorruptedPayload)
+{
+    WalRecord rec;
+    rec.lsn = 3;
+    rec.txn = 2;
+    rec.type = WalRecType::kBegin;
+    rec.op = WalOp::kWrvdr;
+    rec.tid = 7;
+    rec.a = 5;
+    rec.b = 1;
+    rec.checksum = rec.expected_checksum();
+    EXPECT_FALSE(rec.torn());
+    EXPECT_NE(rec.checksum, 0u);  // 0 is reserved as the torn marker.
+
+    rec.a = 6;  // Any flipped payload word must invalidate the seal.
+    EXPECT_TRUE(rec.torn());
+    rec.a = 5;
+    EXPECT_FALSE(rec.torn());
+    rec.checksum = 0;  // The push-before-seal state is always torn.
+    EXPECT_TRUE(rec.torn());
+}
+
+TEST(Wal, CrashBetweenPushAndSealLeavesDetectablyTornTail)
+{
+    Wal wal;
+    auto w = fresh_world(hw::ArchKind::kX86);
+    hw::Core &core = w->core();
+
+    // First crossing: the record is lost before the push — empty log.
+    {
+        FaultPlan plan(1);
+        plan.arm_exact(FaultSite::kCrash, 1);
+        ScopedFaults armed(plan);
+        EXPECT_THROW(wal.begin(core, WalOp::kVdomAlloc, 0),
+                     sim::PowerLoss);
+    }
+    EXPECT_EQ(wal.size(), 0u);
+    wal.reboot();
+
+    // Second crossing: pushed but unsealed — a torn tail record that the
+    // scan truncates.
+    {
+        FaultPlan plan(1);
+        plan.arm_exact(FaultSite::kCrash, 2);
+        ScopedFaults armed(plan);
+        EXPECT_THROW(wal.begin(core, WalOp::kVdomAlloc, 0),
+                     sim::PowerLoss);
+    }
+    ASSERT_EQ(wal.size(), 1u);
+    EXPECT_TRUE(wal.records()[0].torn());
+    WalScan scan = wal.scan();
+    EXPECT_EQ(scan.torn, 1u);
+    EXPECT_EQ(scan.records, 0u);  // Nothing sealed survives the tear.
+    EXPECT_EQ(scan.committed.size(), 0u);
+    EXPECT_EQ(scan.uncommitted.size(), 0u);
+}
+
+// -- Recovery replay ------------------------------------------------------
+
+/// Drives a representative committed history and returns its durable
+/// snapshot; the WAL outlives the world.
+std::string
+drive_history(hw::ArchKind arch, Wal &wal)
+{
+    auto w = fresh_world(arch);
+    w->proc.mm().set_wal(&wal);
+    hw::Core &core = w->core();
+    kernel::Task *task = w->ready_thread();
+
+    VdomId vdom = w->sys.vdom_alloc(core, false);
+    // mmap is logged by the caller (it has no core to charge through),
+    // mirroring the crash sweep's harness-level intent record.
+    hw::Vpn vpn;
+    {
+        WalTxn wtxn(&wal, core, WalOp::kMmap, 0, 2, 0);
+        vpn = w->proc.mm().mmap(2);
+        wtxn.commit(vpn);
+    }
+    EXPECT_EQ(w->sys.vdom_mprotect(core, vpn, 2, vdom), VdomStatus::kOk);
+    EXPECT_EQ(w->sys.wrvdr(core, *task, vdom, VPerm::kFullAccess),
+              VdomStatus::kOk);
+    EXPECT_EQ(w->sys.wrvdr(core, *task, vdom, VPerm::kAccessDisable),
+              VdomStatus::kOk);
+    return snapshot_durable_state(w->sys);
+}
+
+TEST(Recovery, ReplayReconvergesOnIdenticalDurableState)
+{
+    for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm}) {
+        Wal wal;
+        std::string golden = drive_history(arch, wal);
+        std::uint64_t committed = wal.commits();
+
+        auto fresh = fresh_world(arch);
+        fresh->spawn();  // Reboot re-creates threads; replay finds them by tid.
+        RecoveryStats stats =
+            recover(fresh->sys, fresh->core(), wal, {});
+        EXPECT_TRUE(stats.ok) << hw::arch_name(arch) << ": "
+                              << stats.error;
+        EXPECT_EQ(stats.replayed, committed);
+        EXPECT_EQ(stats.torn, 0u);
+        EXPECT_EQ(stats.undone, 0u);
+        EXPECT_EQ(snapshot_durable_state(fresh->sys), golden)
+            << hw::arch_name(arch);
+    }
+}
+
+TEST(Recovery, ScanIsIdempotentAcrossRepeatedRecoveries)
+{
+    Wal wal;
+    std::string golden = drive_history(hw::ArchKind::kX86, wal);
+    // Scanning must not disturb the durable medium: a second recovery
+    // from the same log lands on the same state.
+    for (int pass = 0; pass < 2; ++pass) {
+        auto fresh = fresh_world(hw::ArchKind::kX86);
+        fresh->spawn();
+        RecoveryStats stats =
+            recover(fresh->sys, fresh->core(), wal, {});
+        ASSERT_TRUE(stats.ok) << stats.error;
+        EXPECT_EQ(snapshot_durable_state(fresh->sys), golden);
+    }
+}
+
+// -- Crash inside a nested transaction ------------------------------------
+
+TEST(Recovery, CrashInsideNestedOpLeavesOuterUncommitted)
+{
+    // Probe the secure-pool growth: its inner vdom_mprotect nests under
+    // the outer kSecureGrow transaction, so a crash at *any* interior
+    // crossing must leave the whole growth unobservable after recovery.
+    std::uint64_t crossings = 0;
+    std::string before_grow;
+    std::string after_grow;
+    Wal probe_wal;
+    {
+        auto w = fresh_world(hw::ArchKind::kX86);
+        w->proc.mm().set_wal(&probe_wal);
+        hw::Core &core = w->core();
+        ASSERT_EQ(w->sys.vdom_init(core), VdomStatus::kOk);
+        DomainAllocator arena(w->sys, core, false, 2);
+        before_grow = snapshot_durable_state(w->sys);
+        FaultPlan probe(1);
+        probe.arm_probe(FaultSite::kCrash);
+        {
+            ScopedFaults armed(probe);
+            ASSERT_TRUE(arena.allocate(core, 64).ok());
+        }
+        crossings = probe.occurrences(FaultSite::kCrash);
+        after_grow = snapshot_durable_state(w->sys);
+    }
+    std::uint64_t commits_before_grow = 2;  // init + arena vdom_alloc.
+    ASSERT_GE(crossings, 5u);  // BEGIN (2) + COMMIT (2) + interior.
+
+    for (std::uint64_t k = 1; k <= crossings; ++k) {
+        Wal wal;
+        auto w = fresh_world(hw::ArchKind::kX86);
+        w->proc.mm().set_wal(&wal);
+        hw::Core &core = w->core();
+        ASSERT_EQ(w->sys.vdom_init(core), VdomStatus::kOk);
+        auto arena =
+            std::make_unique<DomainAllocator>(w->sys, core, false, 2);
+        FaultPlan plan(1);
+        plan.arm_exact(FaultSite::kCrash, k);
+        {
+            ScopedFaults armed(plan);
+            EXPECT_THROW((void)arena->allocate(core, 64),
+                         sim::PowerLoss);
+        }
+        wal.reboot();
+        auto fresh = fresh_world(hw::ArchKind::kX86);
+        RecoveryStats stats =
+            recover(fresh->sys, fresh->core(), wal, {});
+        ASSERT_TRUE(stats.ok) << "k=" << k << ": " << stats.error;
+        // Binary outcome: the growth either committed wholly or is
+        // wholly invisible — never a half-grown pool.
+        std::string recovered = snapshot_durable_state(fresh->sys);
+        if (stats.committed > commits_before_grow)
+            EXPECT_EQ(recovered, after_grow) << "k=" << k;
+        else
+            EXPECT_EQ(recovered, before_grow) << "k=" << k;
+    }
+}
+
+// -- PMO attach/detach durability -----------------------------------------
+
+/// The crash-sweep recovery hook, reduced to its PMO store half.
+RecoveryHook
+pmo_hook(apps::PmoStore &store)
+{
+    return [&store](const kernel::WalCommitted &entry, bool committed) {
+        const WalRecord &b = entry.begin;
+        if (b.op == WalOp::kPmoAttach) {
+            auto pmo = static_cast<int>(b.a);
+            if (committed) {
+                auto pages = static_cast<std::size_t>(b.b);
+                if (!store.intact(pmo, b.c, pages)) {
+                    std::vector<std::uint64_t> &content =
+                        store.content[pmo];
+                    content.clear();
+                    for (std::size_t p = 0; p < pages; ++p)
+                        content.push_back(
+                            apps::PmoStore::pattern(pmo, b.c, p));
+                }
+                return true;
+            }
+            store.content.erase(pmo);
+            return true;
+        }
+        if (b.op == WalOp::kPmoDetach) {
+            store.content.erase(static_cast<int>(b.a));
+            return true;
+        }
+        return true;
+    };
+}
+
+TEST(Recovery, PmoAttachAtomicAcrossEveryCrashPointBothArches)
+{
+    constexpr int kPmo = 9;
+    constexpr std::size_t kPages = 3;
+    constexpr std::uint64_t kSeed = 77;
+    for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm}) {
+        // Probe the attach's crash crossings.
+        std::uint64_t crossings = 0;
+        {
+            Wal wal;
+            apps::PmoStore store;
+            auto w = fresh_world(arch);
+            w->proc.mm().set_wal(&wal);
+            ASSERT_EQ(w->sys.vdom_init(w->core()), VdomStatus::kOk);
+            FaultPlan probe(1);
+            probe.arm_probe(FaultSite::kCrash);
+            ScopedFaults armed(probe);
+            apps::PmoAttachResult r = apps::pmo_attach(
+                w->sys, w->core(), store, kPmo, kPages, kSeed);
+            ASSERT_EQ(r.status, VdomStatus::kOk);
+            crossings = probe.occurrences(FaultSite::kCrash);
+            EXPECT_TRUE(store.intact(kPmo, kSeed, kPages));
+        }
+        ASSERT_GE(crossings, kPages + 4);  // BEGIN+COMMIT+page persists.
+
+        for (std::uint64_t k = 1; k <= crossings; ++k) {
+            Wal wal;
+            apps::PmoStore store;
+            auto w = fresh_world(arch);
+            w->proc.mm().set_wal(&wal);
+            ASSERT_EQ(w->sys.vdom_init(w->core()), VdomStatus::kOk);
+            FaultPlan plan(1);
+            plan.arm_exact(FaultSite::kCrash, k);
+            {
+                ScopedFaults armed(plan);
+                EXPECT_THROW((void)apps::pmo_attach(w->sys, w->core(),
+                                                    store, kPmo, kPages,
+                                                    kSeed),
+                             sim::PowerLoss);
+            }
+            wal.reboot();
+            auto fresh = fresh_world(arch);
+            RecoveryStats stats = recover(fresh->sys, fresh->core(), wal,
+                                          pmo_hook(store));
+            ASSERT_TRUE(stats.ok)
+                << hw::arch_name(arch) << " k=" << k << ": "
+                << stats.error;
+            // Durability oracle: all-or-nothing content, never a torn
+            // object.
+            if (store.has(kPmo)) {
+                EXPECT_TRUE(store.intact(kPmo, kSeed, kPages))
+                    << hw::arch_name(arch) << " k=" << k;
+                EXPECT_GT(stats.committed, 1u);
+            } else {
+                EXPECT_EQ(stats.committed, 1u) << "k=" << k;  // init only.
+            }
+        }
+    }
+}
+
+TEST(Recovery, PmoDetachEraseIsRedoneAcrossEveryCrashPointBothArches)
+{
+    constexpr int kPmo = 4;
+    constexpr std::size_t kPages = 2;
+    constexpr std::uint64_t kSeed = 31;
+    for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm}) {
+        // Probe the detach's crossings over an attached object.
+        std::uint64_t crossings = 0;
+        {
+            Wal wal;
+            apps::PmoStore store;
+            auto w = fresh_world(arch);
+            w->proc.mm().set_wal(&wal);
+            ASSERT_EQ(w->sys.vdom_init(w->core()), VdomStatus::kOk);
+            apps::PmoAttachResult r = apps::pmo_attach(
+                w->sys, w->core(), store, kPmo, kPages, kSeed);
+            ASSERT_EQ(r.status, VdomStatus::kOk);
+            FaultPlan probe(1);
+            probe.arm_probe(FaultSite::kCrash);
+            ScopedFaults armed(probe);
+            ASSERT_EQ(apps::pmo_detach(w->sys, w->core(), store, kPmo,
+                                       r.vdom),
+                      VdomStatus::kOk);
+            crossings = probe.occurrences(FaultSite::kCrash);
+            EXPECT_FALSE(store.has(kPmo));
+        }
+        ASSERT_GE(crossings, 5u);  // BEGIN (2) + COMMIT (2) + erase point.
+
+        for (std::uint64_t k = 1; k <= crossings; ++k) {
+            Wal wal;
+            apps::PmoStore store;
+            auto w = fresh_world(arch);
+            w->proc.mm().set_wal(&wal);
+            ASSERT_EQ(w->sys.vdom_init(w->core()), VdomStatus::kOk);
+            apps::PmoAttachResult r = apps::pmo_attach(
+                w->sys, w->core(), store, kPmo, kPages, kSeed);
+            ASSERT_EQ(r.status, VdomStatus::kOk);
+            FaultPlan plan(1);
+            plan.arm_exact(FaultSite::kCrash, k);
+            {
+                ScopedFaults armed(plan);
+                EXPECT_THROW((void)apps::pmo_detach(w->sys, w->core(),
+                                                    store, kPmo, r.vdom),
+                             sim::PowerLoss);
+            }
+            wal.reboot();
+            auto fresh = fresh_world(arch);
+            RecoveryStats stats = recover(fresh->sys, fresh->core(), wal,
+                                          pmo_hook(store));
+            ASSERT_TRUE(stats.ok)
+                << hw::arch_name(arch) << " k=" << k << ": "
+                << stats.error;
+            WalScan scan = wal.scan();
+            bool detach_committed = false;
+            for (const kernel::WalCommitted &entry : scan.committed)
+                if (entry.begin.op == WalOp::kPmoDetach)
+                    detach_committed = true;
+            if (detach_committed) {
+                // Crash after COMMIT, before/within the erase: recovery
+                // finishes the erase idempotently.
+                EXPECT_FALSE(store.has(kPmo))
+                    << hw::arch_name(arch) << " k=" << k;
+            } else {
+                // Uncommitted detach: the object must survive intact.
+                EXPECT_TRUE(store.intact(kPmo, kSeed, kPages))
+                    << hw::arch_name(arch) << " k=" << k;
+            }
+        }
+    }
+}
+
+// -- Cycle identity -------------------------------------------------------
+
+/// A workload across every WAL-wired entry point.
+hw::CycleBreakdown
+drive_wired_ops(World &w, apps::PmoStore &store)
+{
+    hw::Core &core = w.core();
+    kernel::Task *task = w.ready_thread();
+    auto [vdom, vpn] = w.make_domain(2);
+    w.sys.wrvdr(core, *task, vdom, VPerm::kFullAccess);
+    w.sys.access(core, *task, vpn, true);
+    DomainAllocator arena(w.sys, core, false, 2);
+    (void)arena.allocate(core, 64);
+    Sandbox sandbox(w.sys);
+    hw::Vpn sb = w.proc.mm().mmap(1);
+    sandbox.sandbox_mprotect(core, sb, 1, vdom);
+    apps::PmoAttachResult att =
+        apps::pmo_attach(w.sys, core, store, 1, 2, 5);
+    apps::pmo_detach(w.sys, core, store, 1, att.vdom);
+    w.sys.wrvdr(core, *task, vdom, VPerm::kAccessDisable);
+    w.sys.vdr_free(core, *task);
+    return w.machine.total_breakdown();
+}
+
+TEST(Wal, CycleIdentityWhenUnattachedAndChargesOnlyWalKindWhenAttached)
+{
+    // Same workload, one world with no WAL (every logging site is a null
+    // pointer test) and one with the log attached.  The attached run may
+    // spend extra cycles ONLY under the new named CostKind::kWal bucket;
+    // every other per-kind total must agree to the cycle.
+    apps::PmoStore store_off;
+    apps::PmoStore store_on;
+    Wal wal;
+    auto off_world = fresh_world(hw::ArchKind::kX86);
+    hw::CycleBreakdown off = drive_wired_ops(*off_world, store_off);
+    auto on_world = fresh_world(hw::ArchKind::kX86);
+    on_world->proc.mm().set_wal(&wal);
+    hw::CycleBreakdown on = drive_wired_ops(*on_world, store_on);
+
+    EXPECT_GT(wal.size(), 0u);
+    for (std::size_t k = 0; k < static_cast<std::size_t>(
+                                    hw::CostKind::kNumKinds);
+         ++k) {
+        auto kind = static_cast<hw::CostKind>(k);
+        if (kind == hw::CostKind::kWal) {
+            // Both runs persist PMO content (the store is always
+            // durable); the attached run additionally pays per-record
+            // append + flush.
+            EXPECT_GT(on.get(kind), off.get(kind));
+            continue;
+        }
+        EXPECT_EQ(on.get(kind), off.get(kind))
+            << "cost kind " << hw::cost_kind_name(kind);
+    }
+}
+
+// -- Shootdown exponential backoff ----------------------------------------
+
+TEST(Shootdown, ExponentialBackoffChargesCappedSchedule)
+{
+    hw::Machine machine(hw::ArchParams::x86(2));
+    kernel::ShootdownManager sd(machine);
+    const hw::CostTable &costs = machine.params().costs;
+    telemetry::MetricsRegistry registry(2);
+
+    // Sticky drop from the first crossing: all four retries fire, then
+    // the post-retry delivery goes through unconditionally.
+    FaultPlan plan(1);
+    plan.arm_exact(FaultSite::kIpiDrop, 1, /*sticky=*/true);
+    {
+        ScopedFaults armed(plan);
+        telemetry::ScopedMetrics attach(registry);
+        sd.shoot(machine.core(0), 0b0010, kernel::FlushKind::kAll);
+    }
+    EXPECT_EQ(sd.stats().retries, 4u);
+
+    // Deterministic capped doubling: waits of 1x, 2x, 4x, 8x ipi_wait
+    // (the shift saturates at 3), plus the final uncontended delivery.
+    hw::Cycles expected = 5 * costs.ipi_post +
+                          (1 + 2 + 4 + 8 + 1) * costs.ipi_wait;
+    EXPECT_NEAR(machine.core(0).breakdown().get(hw::CostKind::kShootdown),
+                expected, 0.01);
+
+    // The new histogram saw exactly the four backoff waits.
+    telemetry::Histogram h =
+        registry.histogram(telemetry::Metric::kShootdownBackoff);
+    EXPECT_EQ(h.count, 4u);
+    std::uint64_t expected_sum = 0;
+    for (int shift = 0; shift <= 3; ++shift)
+        expected_sum += static_cast<std::uint64_t>(
+            costs.ipi_wait * static_cast<hw::Cycles>(1ULL << shift));
+    EXPECT_EQ(h.sum, expected_sum);
+}
+
+TEST(Shootdown, UnarmedPathChargesNoBackoff)
+{
+    // With no fault armed the retry loop never runs: the per-target cost
+    // stays exactly ipi_post + ipi_wait (the pre-backoff pin), so the
+    // backoff change is cycle-invisible to every clean run.
+    hw::Machine machine(hw::ArchParams::x86(2));
+    kernel::ShootdownManager sd(machine);
+    const hw::CostTable &costs = machine.params().costs;
+    telemetry::MetricsRegistry registry(2);
+    {
+        telemetry::ScopedMetrics attach(registry);
+        sd.shoot(machine.core(0), 0b0010, kernel::FlushKind::kAll);
+    }
+    EXPECT_NEAR(machine.core(0).breakdown().get(hw::CostKind::kShootdown),
+                costs.ipi_post + costs.ipi_wait, 0.01);
+    EXPECT_EQ(sd.stats().retries, 0u);
+    EXPECT_EQ(registry.histogram(telemetry::Metric::kShootdownBackoff)
+                  .count,
+              0u);
+}
+
+}  // namespace
+}  // namespace vdom
