@@ -18,6 +18,7 @@
 #include "hw/page_table.h"
 #include "hw/tlb.h"
 #include "kernel/vma.h"
+#include "sim/engine.h"
 #include "sim/rng.h"
 #include "vdom/vdr.h"
 
@@ -248,6 +249,85 @@ BM_PmoWorkloadStep(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
 BENCHMARK(BM_PmoWorkloadStep)->Unit(benchmark::kMillisecond);
+
+/// One simulated thread of the engine-scaling workload: MMU-heavy steps
+/// against its own process's address space (share-nothing, so every
+/// process is its own shard and the epoch-parallel engine can run all
+/// eight without cross-shard traffic).
+class ScalingWorker final : public sim::SimThread {
+  public:
+    ScalingWorker(hw::Vpn base, std::size_t pages, std::size_t steps)
+        : base_(base), pages_(pages), remaining_(steps)
+    {
+    }
+
+    bool
+    step(hw::Core &core) override
+    {
+        if (remaining_ == 0)
+            return false;
+        --remaining_;
+        for (std::size_t i = 0; i < 128; ++i) {
+            hw::Vpn vpn = base_ + (i * 13 + remaining_) % pages_;
+            hw::AccessResult r = hw::Mmu::access(core, vpn, (i & 7) == 0);
+            benchmark::DoNotOptimize(r);
+        }
+        return true;
+    }
+
+  private:
+    hw::Vpn base_;
+    std::size_t pages_;
+    std::size_t remaining_;
+};
+
+void
+BM_EngineParallelScaling(benchmark::State &state)
+{
+    // Eight single-threaded processes pinned to eight simulated cores;
+    // Arg = engine host threads (1 = serial engine, >= 2 = epoch mode).
+    // Simulated cycles and telemetry are byte-identical across Args
+    // (tests/test_engine_parallel.cc); only wall-clock may change.
+    const std::size_t host_threads = static_cast<std::size_t>(state.range(0));
+    const std::size_t sim_cores = 8;
+    const std::size_t pages = 64;
+    const std::size_t steps = 2000;
+    std::uint64_t total_steps = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        hw::Machine machine(hw::ArchParams::x86(sim_cores));
+        std::vector<std::unique_ptr<kernel::Process>> procs;
+        std::vector<std::unique_ptr<ScalingWorker>> workers;
+        sim::Engine engine(machine, nullptr, 4'000'000);
+        engine.set_host_threads(host_threads);
+        for (std::size_t c = 0; c < sim_cores; ++c) {
+            procs.push_back(std::make_unique<kernel::Process>(machine));
+            kernel::Process &proc = *procs.back();
+            kernel::Task *task = proc.create_task();
+            hw::Vpn base = proc.mm().mmap(pages, false);
+            proc.switch_to(machine.core(c), *task, false);
+            for (std::size_t i = 0; i < pages; ++i)
+                proc.mm().fault_in(machine.core(c), *proc.mm().vds0(),
+                                   base + i);
+            machine.core(c).reset();
+            workers.push_back(
+                std::make_unique<ScalingWorker>(base, pages, steps));
+            workers.back()->set_task(proc, task);
+            engine.add_thread(workers.back().get(), static_cast<int>(c));
+        }
+        state.ResumeTiming();
+        engine.run();
+        total_steps += engine.steps();
+        benchmark::DoNotOptimize(engine.steps());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total_steps));
+}
+BENCHMARK(BM_EngineParallelScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 /// ConsoleReporter that also mirrors every run into the --json report
 /// (real/cpu nanoseconds per iteration, matching the schema of the

@@ -4,14 +4,32 @@
 #include "kernel/vds.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace vdom::kernel {
 
-std::uint64_t Vds::next_ctx_id_ = 1;
+namespace {
+std::atomic<std::uint64_t> g_next_ctx_id{1};
+}  // namespace
 
-Vds::Vds(std::uint32_t id, const hw::ArchParams &params)
+void
+Vds::reset_ctx_ids()
+{
+    g_next_ctx_id.store(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Vds::reserve_ctx_block(std::uint64_t count)
+{
+    return g_next_ctx_id.fetch_add(count, std::memory_order_relaxed);
+}
+
+Vds::Vds(std::uint32_t id, const hw::ArchParams &params,
+         std::uint64_t ctx_id)
     : id_(id),
-      ctx_id_(next_ctx_id_++),
+      ctx_id_(ctx_id != 0
+                  ? ctx_id
+                  : g_next_ctx_id.fetch_add(1, std::memory_order_relaxed)),
       params_(&params),
       pgd_(params.pmd_span_pages),
       first_usable_(static_cast<hw::Pdom>(params.num_reserved_pdoms)),

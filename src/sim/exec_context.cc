@@ -1,0 +1,24 @@
+/// \file
+/// Thread-local shard execution context (epoch-parallel engine).
+
+#include "sim/exec_context.h"
+
+namespace vdom::sim {
+
+namespace {
+thread_local ExecContext *g_exec_context = nullptr;
+}  // namespace
+
+ExecContext *
+exec_context()
+{
+    return g_exec_context;
+}
+
+void
+set_exec_context(ExecContext *ctx)
+{
+    g_exec_context = ctx;
+}
+
+}  // namespace vdom::sim

@@ -1,0 +1,67 @@
+/// \file
+/// Per-shard execution context for the epoch-parallel engine.
+///
+/// In epoch mode (sim/engine.h) every host worker advances one *shard* —
+/// a group of simulated cores coupled by a shared kernel process — up to
+/// the epoch horizon.  While a shard runs, a thread-local ExecContext is
+/// installed so layers below the engine can tell which cores the current
+/// worker owns: effects targeting a foreign core (today that is only the
+/// shootdown fan-out, kernel/shootdown.h) are buffered here instead of
+/// applied synchronously, and the engine replays them at the epoch
+/// barrier in deterministic shard order.
+///
+/// Null-hook contract, like every other sim/telemetry sink: with no
+/// context installed (the serial engine, or any code running outside an
+/// epoch), exec_context() is a single thread-local load and every caller
+/// takes the legacy synchronous path.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/arch.h"
+
+namespace vdom::sim {
+
+/// One deferred cross-shard TLB flush: the target-side half of a
+/// shootdown whose target core belongs to another shard.  The initiator
+/// half (ipi_post/ipi_wait charges, retries, issue record) was already
+/// charged in-shard at emission; the engine applies this record at the
+/// barrier, charging ipi_handle + the flush at the target's then-current
+/// clock.
+struct RemoteFlush {
+    std::size_t initiator = 0;
+    std::size_t target = 0;
+    std::uint8_t kind = 0;  ///< kernel::FlushKind (raw to avoid a cycle).
+    hw::Asid asid = 0;
+    hw::Vpn vpn = 0;
+    std::uint64_t count = 0;
+    bool target_current_asid = false;
+    /// Causality id stamped on the issue record.  While staged this may be
+    /// a shard-local id (>= kStagedFlowBase); the engine remaps it to the
+    /// real flow id during the barrier drain.
+    std::uint64_t flow = 0;
+};
+
+/// Shard-local flow ids live above this base so the barrier drain can
+/// tell them apart from ids handed out by the real recorder.
+constexpr std::uint64_t kStagedFlowBase = 1ULL << 62;
+
+/// The context installed while a worker advances one shard.
+struct ExecContext {
+    std::uint64_t local_cores = 0;  ///< Bitmap of cores this shard owns.
+    std::vector<RemoteFlush> *deferred = nullptr;
+
+    bool
+    owns(std::size_t core) const
+    {
+        return core < 64 && ((local_cores >> core) & 1ULL);
+    }
+};
+
+/// The installed context, or nullptr (serial execution).
+ExecContext *exec_context();
+void set_exec_context(ExecContext *ctx);
+
+}  // namespace vdom::sim

@@ -6,7 +6,7 @@
 namespace vdom::sim {
 
 namespace {
-FaultPlan *g_fault_sink = nullptr;
+thread_local FaultPlan *g_fault_sink = nullptr;
 }  // namespace
 
 FaultPlan *

@@ -9,7 +9,7 @@
 namespace vdom::sim {
 
 namespace detail {
-Tracer *g_trace_sink = nullptr;
+thread_local Tracer *g_trace_sink = nullptr;
 }  // namespace detail
 
 const char *

@@ -85,9 +85,18 @@ class Tracer {
     void
     record(const TraceRecord &rec)
     {
+        if (capture_) {
+            capture_->push_back(rec);
+            return;
+        }
         ++total_;
         records_.push(rec);
     }
+
+    /// Capture mode (epoch-parallel staging): routes every record() into
+    /// \p out verbatim; the engine replays the buffer into the real
+    /// tracer at the epoch barrier.  Real tracers never capture.
+    void set_capture(std::vector<TraceRecord> *out) { capture_ = out; }
 
     /// Events currently retained (oldest first).
     const telemetry::FlatRing<TraceRecord> &records() const
@@ -135,11 +144,14 @@ class Tracer {
 
   private:
     telemetry::FlatRing<TraceRecord> records_;
+    std::vector<TraceRecord> *capture_ = nullptr;
     std::uint64_t total_ = 0;
 };
 
 namespace detail {
-extern Tracer *g_trace_sink;  ///< Use trace_sink() instead.
+/// Thread-local so epoch-parallel host workers stage into per-shard
+/// buffers; single-threaded code sees the old global behaviour.
+extern thread_local Tracer *g_trace_sink;  ///< Use trace_sink() instead.
 }  // namespace detail
 
 /// Global trace hook: null by default (no cost); tests and tools attach a

@@ -8,7 +8,7 @@
 namespace vdom::telemetry {
 
 namespace detail {
-FlightRecorder *g_flight_sink = nullptr;
+thread_local FlightRecorder *g_flight_sink = nullptr;
 }  // namespace detail
 
 const char *

@@ -6,7 +6,7 @@
 namespace vdom::telemetry {
 
 namespace detail {
-SpanTracer *g_span_sink = nullptr;
+thread_local SpanTracer *g_span_sink = nullptr;
 }  // namespace detail
 
 }  // namespace vdom::telemetry

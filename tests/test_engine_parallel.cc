@@ -1,0 +1,422 @@
+/// \file
+/// Epoch-parallel engine determinism: every workload must produce
+/// byte-identical charged cycles, metrics and flight-recorder streams at
+/// any host-thread count — and, for single-process workloads (one
+/// shard), identical to the serial engine.  This is the contract that
+/// makes the parallel mode usable at all: a digest mismatch between
+/// host_threads=1 and host_threads=8 would make every seeded replay and
+/// chaos digest worthless.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/httpd.h"
+#include "apps/mysql.h"
+#include "apps/pmo.h"
+#include "apps/strategy.h"
+#include "common.h"
+#include "kernel/asid.h"
+#include "kernel/vds.h"
+#include "sim/chaos.h"
+#include "sim/engine.h"
+#include "sim/fault.h"
+#include "telemetry/flightrec.h"
+#include "telemetry/metrics.h"
+
+namespace vdom {
+namespace {
+
+using ::vdom::testing::World;
+
+/// FNV-1a over every retained flight record, program order.
+std::uint64_t
+digest_flight(const telemetry::FlightRecorder &rec)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    for (const telemetry::FlightRecord &r : rec.merged()) {
+        mix(static_cast<std::uint64_t>(r.kind));
+        mix(r.core);
+        mix(r.tid);
+        mix(r.ts);
+        mix(r.flow);
+        mix(r.a);
+        mix(r.b);
+        mix(r.seq);
+        if (r.name)
+            for (const char *p = r.name; *p; ++p)
+                mix(static_cast<unsigned char>(*p));
+    }
+    return h;
+}
+
+/// Everything a run can observably produce.
+struct RunSignature {
+    std::uint64_t completed = 0;
+    hw::Cycles elapsed = 0;
+    hw::CycleBreakdown breakdown;
+    std::vector<std::pair<std::string, std::uint64_t>> metrics;
+    std::uint64_t flight = 0;
+};
+
+void
+expect_identical(const RunSignature &a, const RunSignature &b,
+                 const std::string &label)
+{
+    EXPECT_EQ(a.completed, b.completed) << label;
+    EXPECT_EQ(a.elapsed, b.elapsed) << label;
+    for (std::size_t i = 0; i < hw::kNumCostKinds; ++i)
+        EXPECT_EQ(a.breakdown.by_kind[i], b.breakdown.by_kind[i])
+            << label << " cost kind " << i;
+    ASSERT_EQ(a.metrics.size(), b.metrics.size()) << label;
+    for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+        EXPECT_EQ(a.metrics[i].first, b.metrics[i].first) << label;
+        EXPECT_EQ(a.metrics[i].second, b.metrics[i].second)
+            << label << " metric " << a.metrics[i].first;
+    }
+    EXPECT_EQ(a.flight, b.flight) << label << " flight digest";
+}
+
+enum class App { kHttpd, kMysql, kMysqlTimed, kPmo };
+
+/// Builds a fresh world (counters reset so worlds are comparable) and
+/// runs one app workload under VDom with metrics + flight attached.
+RunSignature
+run_app(App app, hw::ArchKind arch, std::size_t host_threads,
+        bool reset_counters = true)
+{
+    if (reset_counters) {
+        kernel::reset_unique_asids();
+        kernel::Vds::reset_ctx_ids();
+    }
+    World world(arch == hw::ArchKind::kX86 ? hw::ArchParams::x86(4)
+                                           : hw::ArchParams::arm(4));
+    telemetry::MetricsRegistry registry(4);
+    telemetry::FlightRecorder flight(4, 4096);
+    RunSignature sig;
+    {
+        telemetry::ScopedMetrics attach_metrics(registry);
+        telemetry::ScopedFlightRecorder attach_flight(flight);
+        world.sys.vdom_init(world.core(0));
+        apps::VdomStrategy strat(world.sys, 2);
+        switch (app) {
+          case App::kHttpd: {
+            apps::HttpdConfig cfg = apps::HttpdConfig::for_arch(arch, 8, 1);
+            cfg.total_requests = 120;
+            cfg.host_threads = host_threads;
+            apps::HttpdResult r =
+                apps::run_httpd(world.machine, world.proc, strat, cfg);
+            sig.completed = r.completed;
+            break;
+          }
+          case App::kMysql:
+          case App::kMysqlTimed: {
+            apps::MysqlConfig cfg = apps::MysqlConfig::for_arch(arch, 8);
+            if (app == App::kMysqlTimed)
+                cfg.duration = 2e8;  // Exercises run_until().
+            else
+                cfg.total_queries = 200;
+            cfg.host_threads = host_threads;
+            apps::MysqlResult r =
+                apps::run_mysql(world.machine, world.proc, strat, cfg);
+            sig.completed = r.completed;
+            break;
+          }
+          case App::kPmo: {
+            apps::PmoConfig cfg = apps::PmoConfig::for_arch(arch, 4);
+            cfg.ops_per_thread = 400;
+            cfg.pmos = 16;
+            cfg.pmo_pages = 8;
+            cfg.host_threads = host_threads;
+            apps::PmoResult r =
+                apps::run_pmo(world.machine, world.proc, strat, cfg);
+            sig.completed = r.completed;
+            break;
+          }
+        }
+    }
+    sig.elapsed = world.machine.max_clock();
+    sig.breakdown = world.machine.total_breakdown();
+    for (const auto &sample : registry.snapshot())
+        sig.metrics.emplace_back(sample.name, sample.value);
+    sig.flight = digest_flight(flight);
+    return sig;
+}
+
+class AppDeterminism
+    : public ::testing::TestWithParam<std::tuple<hw::ArchKind, App>> {};
+
+/// Single-process workloads are one shard, so every host-thread count —
+/// including the serial engine at 1 — must be byte-identical.
+TEST_P(AppDeterminism, IdenticalAcrossHostThreads)
+{
+    auto [arch, app] = GetParam();
+    RunSignature serial = run_app(app, arch, 1);
+    EXPECT_GT(serial.completed, 0u);
+    EXPECT_GT(serial.flight, 0u);
+    for (std::size_t threads : {2, 4, 8}) {
+        RunSignature parallel = run_app(app, arch, threads);
+        expect_identical(serial, parallel,
+                         std::string(hw::arch_name(arch)) +
+                             " host_threads=" + std::to_string(threads));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAppsBothArches, AppDeterminism,
+    ::testing::Combine(::testing::Values(hw::ArchKind::kX86,
+                                         hw::ArchKind::kArm),
+                       ::testing::Values(App::kHttpd, App::kMysql,
+                                         App::kMysqlTimed, App::kPmo)));
+
+/// Consecutive worlds in one binary share the global ASID/ctx-id
+/// counters, and raw tag values are behavior (PCIDs wrap mod the arch
+/// width).  An epoch run must therefore leave the globals exactly where
+/// the serial engine would, or the *next* world diverges — the original
+/// bug shape: fig5's second record differed once the first ran parallel.
+TEST(EngineParallel, ConsecutiveWorldsStayIdentical)
+{
+    run_app(App::kHttpd, hw::ArchKind::kX86, 1);
+    RunSignature serial2 =
+        run_app(App::kHttpd, hw::ArchKind::kX86, 1, false);
+    run_app(App::kHttpd, hw::ArchKind::kX86, 4);
+    RunSignature parallel2 =
+        run_app(App::kHttpd, hw::ArchKind::kX86, 4, false);
+    expect_identical(serial2, parallel2, "second world after parallel run");
+}
+
+/// Chaos digests (completion, fault fires, elapsed, invariants) must not
+/// depend on the host-thread count either — single-process worlds fork
+/// the master plan's RNG position into their one shard.
+TEST(EngineParallel, ChaosAppDigestsMatchSerial)
+{
+    for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm}) {
+        for (auto workload : {sim::ChaosAppsConfig::Workload::kHttpd,
+                              sim::ChaosAppsConfig::Workload::kMysql,
+                              sim::ChaosAppsConfig::Workload::kPmo}) {
+            sim::ChaosAppsConfig cfg;
+            cfg.arch = arch;
+            cfg.workload = workload;
+            cfg.work_items = 80;
+            cfg.seed = 7;
+            cfg.faults.emplace_back(sim::FaultSite::kIpiDrop,
+                                    sim::FaultSpec{.probability = 0.05});
+            cfg.faults.emplace_back(sim::FaultSite::kAsidExhaustion,
+                                    sim::FaultSpec{.probability = 0.01});
+            cfg.faults.emplace_back(sim::FaultSite::kVdsAllocFail,
+                                    sim::FaultSpec{.probability = 0.02});
+            cfg.host_threads = 1;
+            sim::ChaosAppsResult serial = sim::run_chaos_apps(cfg);
+            for (std::size_t threads : {2, 4, 8}) {
+                cfg.host_threads = threads;
+                sim::ChaosAppsResult parallel = sim::run_chaos_apps(cfg);
+                EXPECT_EQ(serial.completed, parallel.completed);
+                EXPECT_EQ(serial.faults_injected, parallel.faults_injected);
+                EXPECT_EQ(serial.elapsed, parallel.elapsed);
+                EXPECT_TRUE(parallel.ok()) << parallel.first_violation;
+            }
+        }
+    }
+}
+
+// --- multi-shard runs ----------------------------------------------------
+
+/// A share-nothing worker: context-switches between two tasks of its own
+/// process (driving ASID assignment, and on ARM the rollover broadcast —
+/// the one genuinely cross-shard interaction) and touches its pages.
+class SwitchWorker final : public sim::SimThread {
+  public:
+    SwitchWorker(kernel::Process &proc, kernel::Task *a, kernel::Task *b,
+                 std::size_t steps)
+        : proc_(&proc), tasks_{a, b}, remaining_(steps)
+    {
+    }
+
+    bool
+    step(hw::Core &core) override
+    {
+        if (remaining_ == 0)
+            return false;
+        --remaining_;
+        proc_->switch_to(core, *tasks_[remaining_ & 1]);
+        core.charge(hw::CostKind::kCompute, 500);
+        return true;
+    }
+
+  private:
+    kernel::Process *proc_;
+    kernel::Task *tasks_[2];
+    std::size_t remaining_;
+};
+
+struct MultiRun {
+    std::vector<hw::Cycles> clocks;
+    hw::Cycles elapsed = 0;
+    hw::CycleBreakdown breakdown;
+    std::uint64_t steps = 0;
+    std::uint64_t switches = 0;
+    std::uint64_t epochs = 0;
+    std::size_t shards = 0;
+    std::uint64_t flight = 0;
+    std::uint64_t faults = 0;
+};
+
+/// Four single-process shards on eight cores (two cores each).
+MultiRun
+run_multi(hw::ArchKind arch, std::size_t host_threads, bool with_faults)
+{
+    kernel::reset_unique_asids();
+    kernel::Vds::reset_ctx_ids();
+    hw::Machine machine(arch == hw::ArchKind::kX86 ? hw::ArchParams::x86(8)
+                                                   : hw::ArchParams::arm(8));
+    telemetry::FlightRecorder flight(8, 4096);
+    sim::FaultPlan plan(11);
+    if (with_faults) {
+        // `every` triggers count occurrences per shard plan, so fire
+        // points are host-thread-count independent by construction (on
+        // ARM each forced exhaustion broadcasts a flush-all across every
+        // shard — the deferred cross-shard path).
+        plan.arm(sim::FaultSite::kAsidExhaustion,
+                 sim::FaultSpec{.every = 97});
+    }
+    MultiRun out;
+    {
+        telemetry::ScopedFlightRecorder attach_flight(flight);
+        std::unique_ptr<sim::ScopedFaults> armed;
+        if (with_faults)
+            armed = std::make_unique<sim::ScopedFaults>(plan);
+        std::vector<std::unique_ptr<kernel::Process>> procs;
+        std::vector<std::unique_ptr<SwitchWorker>> workers;
+        sim::Engine engine(machine, nullptr, 1'000'000);
+        engine.set_host_threads(host_threads);
+        for (std::size_t p = 0; p < 4; ++p) {
+            procs.push_back(std::make_unique<kernel::Process>(machine));
+            kernel::Process &proc = *procs.back();
+            for (std::size_t t = 0; t < 2; ++t) {
+                std::size_t core = p * 2 + t;
+                kernel::Task *main_task = proc.create_task();
+                kernel::Task *alt = proc.create_task();
+                workers.push_back(std::make_unique<SwitchWorker>(
+                    proc, main_task, alt, 300));
+                workers.back()->set_task(proc, main_task);
+                engine.add_thread(workers.back().get(),
+                                  static_cast<int>(core));
+            }
+        }
+        out.shards = engine.shard_count();
+        engine.run();
+        out.steps = engine.steps();
+        out.switches = engine.context_switches();
+        out.epochs = engine.epochs();
+    }
+    for (std::size_t c = 0; c < machine.num_cores(); ++c)
+        out.clocks.push_back(machine.core(c).now());
+    out.elapsed = machine.max_clock();
+    out.breakdown = machine.total_breakdown();
+    out.flight = digest_flight(flight);
+    out.faults = plan.total_fires();
+    return out;
+}
+
+/// Multi-shard runs must be byte-identical at every parallel host-thread
+/// count (2/4/8 — including counts above and below the shard count).
+TEST(EngineParallel, MultiShardIdenticalAcrossHostThreads)
+{
+    for (hw::ArchKind arch : {hw::ArchKind::kX86, hw::ArchKind::kArm}) {
+        for (bool faults : {false, true}) {
+            MultiRun two = run_multi(arch, 2, faults);
+            EXPECT_EQ(two.shards, 4u);
+            if (faults && arch == hw::ArchKind::kArm) {
+                EXPECT_GT(two.faults, 0u);  // Rollover broadcasts fired.
+            }
+            for (std::size_t threads : {4, 8}) {
+                MultiRun other = run_multi(arch, threads, faults);
+                std::string label = std::string(hw::arch_name(arch)) +
+                                    (faults ? "+faults" : "") +
+                                    " host_threads=" +
+                                    std::to_string(threads);
+                EXPECT_EQ(two.clocks, other.clocks) << label;
+                EXPECT_EQ(two.elapsed, other.elapsed) << label;
+                for (std::size_t i = 0; i < hw::kNumCostKinds; ++i)
+                    EXPECT_EQ(two.breakdown.by_kind[i],
+                              other.breakdown.by_kind[i])
+                        << label;
+                EXPECT_EQ(two.steps, other.steps) << label;
+                EXPECT_EQ(two.switches, other.switches) << label;
+                EXPECT_EQ(two.epochs, other.epochs) << label;
+                EXPECT_EQ(two.faults, other.faults) << label;
+                EXPECT_EQ(two.flight, other.flight) << label;
+            }
+        }
+    }
+}
+
+/// Share-nothing x86 shards never interact, so even the charged cycles
+/// must match the serial engine exactly (flight digests may differ:
+/// per-process ASID blocks change raw tag values, not costs).
+TEST(EngineParallel, ShareNothingCyclesMatchSerial)
+{
+    MultiRun serial = run_multi(hw::ArchKind::kX86, 1, false);
+    MultiRun parallel = run_multi(hw::ArchKind::kX86, 4, false);
+    EXPECT_EQ(serial.clocks, parallel.clocks);
+    EXPECT_EQ(serial.elapsed, parallel.elapsed);
+    for (std::size_t i = 0; i < hw::kNumCostKinds; ++i)
+        EXPECT_EQ(serial.breakdown.by_kind[i],
+                  parallel.breakdown.by_kind[i]);
+    EXPECT_EQ(serial.steps, parallel.steps);
+    EXPECT_EQ(serial.switches, parallel.switches);
+    EXPECT_EQ(serial.epochs, 0u);
+    EXPECT_GT(parallel.epochs, 0u);
+}
+
+/// Shard computation: cores couple through shared processes.
+TEST(EngineParallel, ShardsFollowProcessCoupling)
+{
+    World world(hw::ArchParams::x86(4));
+
+    // One engine-wide default process: every populated core couples.
+    {
+        sim::Engine engine(world.machine, &world.proc);
+        SwitchWorker w1(world.proc, nullptr, nullptr, 0);
+        SwitchWorker w2(world.proc, nullptr, nullptr, 0);
+        engine.add_thread(&w1, 0);
+        engine.add_thread(&w2, 3);
+        EXPECT_EQ(engine.shard_count(), 1u);
+    }
+
+    // Two processes on disjoint cores: two shards.
+    {
+        kernel::Process p1(world.machine);
+        kernel::Process p2(world.machine);
+        sim::Engine engine(world.machine, nullptr);
+        kernel::Task *t1 = p1.create_task();
+        kernel::Task *t2 = p2.create_task();
+        SwitchWorker w1(p1, t1, t1, 0);
+        SwitchWorker w2(p2, t2, t2, 0);
+        w1.set_task(p1, t1);
+        w2.set_task(p2, t2);
+        engine.add_thread(&w1, 0);
+        engine.add_thread(&w2, 2);
+        EXPECT_EQ(engine.shard_count(), 2u);
+    }
+
+    // No process anywhere: every populated core is its own shard.
+    {
+        sim::Engine engine(world.machine, nullptr);
+        SwitchWorker w1(world.proc, nullptr, nullptr, 0);
+        SwitchWorker w2(world.proc, nullptr, nullptr, 0);
+        engine.add_thread(&w1, 1);
+        engine.add_thread(&w2, 2);
+        EXPECT_EQ(engine.shard_count(), 2u);
+    }
+}
+
+}  // namespace
+}  // namespace vdom
